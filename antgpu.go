@@ -1,0 +1,435 @@
+// Package antgpu is a Go reproduction of Cecilia, García, Ujaldón, Nisbet
+// and Amos, "Parallelization Strategies for Ant Colony Optimisation on
+// GPUs" (IPDPS Workshops / arXiv:1101.2678, 2011).
+//
+// The library solves the symmetric Travelling Salesman Problem with the
+// Ant System, either on the sequential CPU baseline (a Go port of the
+// Stützle ACOTSP code the paper compares against) or on a deterministic
+// functional SIMT simulator of the paper's two GPUs — the Tesla C1060 and
+// Tesla M2050 — running the paper's kernel designs: eight tour-construction
+// versions (Table II) and five pheromone-update versions (Tables III/IV).
+//
+// Quick start:
+//
+//	in, _ := antgpu.LoadBenchmark("att48")
+//	res, _ := antgpu.Solve(in, antgpu.SolveOptions{Iterations: 50})
+//	fmt.Println(res.BestLen, res.BestTour)
+//
+// To run on the simulated GPU instead:
+//
+//	opts := antgpu.SolveOptions{
+//		Iterations: 50,
+//		Backend:    antgpu.BackendGPU,
+//		Device:     antgpu.TeslaM2050(),
+//	}
+//	res, _ := antgpu.Solve(in, opts)
+//	fmt.Printf("simulated GPU time: %.2f ms\n", res.SimulatedSeconds*1e3)
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/acobench; the underlying pieces (the simulator, the
+// kernels, the instrumented CPU baseline) are re-exported here for
+// programmatic use.
+package antgpu
+
+import (
+	"fmt"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// Re-exported substrate types. The facade keeps downstream users to one
+// import while the implementation stays in focused internal packages.
+type (
+	// Instance is a symmetric TSP instance (TSPLIB-compatible).
+	Instance = tsp.Instance
+	// Params are the Ant System parameters (α, β, ρ, m, nn, seed).
+	Params = aco.Params
+	// Colony is the sequential CPU Ant System.
+	Colony = aco.Colony
+	// Engine is the GPU Ant System on the simulated device.
+	Engine = core.Engine
+	// Device is a simulated GPU model.
+	Device = cuda.Device
+	// TourVersion selects a tour-construction kernel design (Table II).
+	TourVersion = core.TourVersion
+	// PherVersion selects a pheromone-update kernel design (Tables III/IV).
+	PherVersion = core.PherVersion
+	// CPUModel converts instrumented CPU meters into deterministic times.
+	CPUModel = aco.CPUModel
+)
+
+// Devices of the paper's evaluation.
+var (
+	TeslaC1060 = cuda.TeslaC1060
+	TeslaM2050 = cuda.TeslaM2050
+)
+
+// Tour-construction versions (paper Table II).
+const (
+	TourBaseline            = core.TourBaseline
+	TourChoiceKernel        = core.TourChoiceKernel
+	TourDeviceRNG           = core.TourDeviceRNG
+	TourNNList              = core.TourNNList
+	TourNNShared            = core.TourNNShared
+	TourNNSharedTexture     = core.TourNNSharedTexture
+	TourDataParallel        = core.TourDataParallel
+	TourDataParallelTexture = core.TourDataParallelTexture
+)
+
+// Pheromone-update versions (paper Tables III and IV).
+const (
+	PherAtomicShared       = core.PherAtomicShared
+	PherAtomic             = core.PherAtomic
+	PherReduction          = core.PherReduction
+	PherScatterGatherTiled = core.PherScatterGatherTiled
+	PherScatterGather      = core.PherScatterGather
+)
+
+// DefaultParams returns the paper's Ant System settings (α=1, β=2, ρ=0.5,
+// m=n, nn=30).
+func DefaultParams() Params { return aco.DefaultParams() }
+
+// LoadBenchmark returns one of the paper's benchmark instances by name
+// (att48, kroC100, a280, pcb442, d657, pr1002, pr2392) — deterministic
+// synthetic stand-ins of the TSPLIB originals with identical sizes and
+// distance functions.
+func LoadBenchmark(name string) (*Instance, error) { return tsp.LoadBenchmark(name) }
+
+// ParseTSPLIB reads a TSPLIB file from disk, so real TSPLIB instances can
+// be used instead of the synthetic stand-ins.
+func ParseTSPLIB(path string) (*Instance, error) { return tsp.ParseFile(path) }
+
+// Benchmarks lists the paper's benchmark instance names in size order.
+func Benchmarks() []string {
+	out := make([]string, len(tsp.PaperBenchmarks))
+	copy(out, tsp.PaperBenchmarks)
+	return out
+}
+
+// Backend selects where the Ant System runs.
+type Backend int
+
+const (
+	// BackendCPU runs the sequential baseline colony.
+	BackendCPU Backend = iota
+	// BackendGPU runs the paper's kernels on the simulated device.
+	BackendGPU
+)
+
+// Algorithm selects the ACO variant.
+type Algorithm int
+
+const (
+	// AlgorithmAS is the Ant System the paper evaluates.
+	AlgorithmAS Algorithm = iota
+	// AlgorithmACS is the Ant Colony System, the paper's stated future
+	// work: pseudo-random proportional rule, local pheromone update,
+	// best-so-far global update.
+	AlgorithmACS
+	// AlgorithmMMAS is the Max-Min Ant System of the paper's related work:
+	// single depositing ant, trails clamped to [τmin, τmax], stagnation
+	// re-initialisation. Its pheromone update needs no atomics at all.
+	AlgorithmMMAS
+	// AlgorithmEAS is the Elitist Ant System: the AS update plus a weighted
+	// best-so-far deposit each iteration.
+	AlgorithmEAS
+	// AlgorithmRank is the Rank-based Ant System: only the w best-ranked
+	// ants deposit, weighted by rank — another atomics-free update on the
+	// GPU.
+	AlgorithmRank
+)
+
+// ACSParams are the Ant Colony System parameters.
+type ACSParams = aco.ACSParams
+
+// DefaultACSParams returns the standard ACS settings (q0=0.9, ξ=0.1,
+// ρ=0.1, m=10).
+func DefaultACSParams() ACSParams { return aco.DefaultACSParams() }
+
+// MMASParams are the Max-Min Ant System parameters.
+type MMASParams = aco.MMASParams
+
+// DefaultMMASParams returns the standard MMAS settings (ρ=0.02, m=n).
+func DefaultMMASParams() MMASParams { return aco.DefaultMMASParams() }
+
+// SolveOptions configures Solve.
+type SolveOptions struct {
+	// Algorithm selects the ACO variant (default the paper's Ant System).
+	Algorithm Algorithm
+	// ACS are the Ant Colony System parameters, used when Algorithm is
+	// AlgorithmACS; zero value selects DefaultACSParams.
+	ACS ACSParams
+	// MMAS are the Max-Min Ant System parameters, used when Algorithm is
+	// AlgorithmMMAS; zero value selects DefaultMMASParams.
+	MMAS MMASParams
+	// Params are the AS parameters; zero value selects DefaultParams.
+	Params Params
+	// Iterations is the number of AS iterations (default 20).
+	Iterations int
+	// Backend selects CPU (default) or simulated GPU.
+	Backend Backend
+	// Device is the simulated GPU (default Tesla M2050). GPU backend only.
+	Device *Device
+	// Tour selects the construction kernel (default the paper's
+	// recommendation per size: data-parallel up to ~500 cities, NN-list
+	// beyond). GPU backend only.
+	Tour TourVersion
+	// Pher selects the pheromone kernel (default atomic + shared memory,
+	// the paper's winner). GPU backend only.
+	Pher PherVersion
+	// Variant selects the CPU construction strategy (default NN-list).
+	Variant aco.Variant
+	// LocalSearch applies 2-opt local search (nearest-neighbour candidate
+	// lists, don't-look bits) to every ant's tour after construction — the
+	// AS + local-search configuration of ACOTSP. Supported for
+	// AlgorithmAS on both backends.
+	LocalSearch bool
+}
+
+// Result reports a Solve run.
+type Result struct {
+	BestTour []int32
+	BestLen  int64
+	// SimulatedSeconds is the accumulated simulated GPU time (GPU backend)
+	// or the modelled CPU time (CPU backend) of all iterations.
+	SimulatedSeconds float64
+}
+
+// Solve runs the Ant System on the instance and returns the best tour
+// found.
+func Solve(in *Instance, opts SolveOptions) (*Result, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 20
+	}
+	if opts.Params.Rho == 0 {
+		opts.Params = DefaultParams()
+	}
+	switch opts.Algorithm {
+	case AlgorithmACS:
+		return solveACS(in, opts)
+	case AlgorithmMMAS:
+		return solveMMAS(in, opts)
+	case AlgorithmEAS, AlgorithmRank:
+		return solveVariant(in, opts)
+	}
+	switch opts.Backend {
+	case BackendCPU:
+		c, err := aco.New(in, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		c.ResetMeters()
+		var tour []int32
+		var l int64
+		if opts.LocalSearch {
+			for i := 0; i < opts.Iterations; i++ {
+				c.ConstructTours(opts.Variant)
+				c.LocalSearchTours(c.Ants())
+				c.UpdatePheromone()
+			}
+			tour, l = c.BestTour, c.BestLen
+		} else {
+			tour, l = c.Run(opts.Variant, opts.Iterations)
+		}
+		cpu := aco.DefaultCPU()
+		total := c.ConstructMeter
+		total.Add(&c.PheromoneMeter)
+		total.Add(&c.ChoiceMeter)
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+	case BackendGPU:
+		dev := opts.Device
+		if dev == nil {
+			dev = TeslaM2050()
+		}
+		e, err := core.NewEngine(dev, in, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		tv := opts.Tour
+		if tv == 0 {
+			if in.N() <= 500 {
+				tv = TourDataParallelTexture
+			} else {
+				tv = TourNNSharedTexture
+			}
+		}
+		pv := opts.Pher
+		if pv == 0 {
+			pv = PherAtomicShared
+		}
+		var tour []int32
+		var l int64
+		var secs float64
+		if opts.LocalSearch {
+			for i := 0; i < opts.Iterations; i++ {
+				res, err := e.IterateWithLocalSearch(tv, pv)
+				if err != nil {
+					return nil, err
+				}
+				secs += res.Construct.Seconds() + res.Update.Seconds()
+			}
+			tour, l = e.Best()
+		} else {
+			tour, l, secs, err = e.Run(tv, pv, opts.Iterations)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+	default:
+		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
+	}
+}
+
+// solveMMAS runs the Max-Min Ant System variant on either backend.
+func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
+	p := opts.MMAS
+	if p.Rho == 0 {
+		p = DefaultMMASParams()
+		p.Seed = opts.Params.Seed
+	}
+	switch opts.Backend {
+	case BackendCPU:
+		c, err := aco.NewMMASColony(in, p)
+		if err != nil {
+			return nil, err
+		}
+		c.ResetMeters()
+		tour, l := c.Run(opts.Variant, opts.Iterations)
+		cpu := aco.DefaultCPU()
+		total := c.ConstructMeter
+		total.Add(&c.PheromoneMeter)
+		total.Add(&c.ChoiceMeter)
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+	case BackendGPU:
+		dev := opts.Device
+		if dev == nil {
+			dev = TeslaM2050()
+		}
+		e, err := core.NewMMASEngine(dev, in, p)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Tour != 0 {
+			e.SetTourVersion(opts.Tour)
+		}
+		tour, l, secs, err := e.Run(opts.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+	default:
+		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
+	}
+}
+
+// solveVariant runs the Elitist or Rank-based Ant System on either backend
+// with the default variant parameters (e = m, w = 6).
+func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
+	switch opts.Backend {
+	case BackendCPU:
+		var run func() ([]int32, int64, *aco.Colony, error)
+		if opts.Algorithm == AlgorithmEAS {
+			c, err := aco.NewEASColony(in, opts.Params, 0)
+			if err != nil {
+				return nil, err
+			}
+			run = func() ([]int32, int64, *aco.Colony, error) {
+				tour, l := c.Run(opts.Variant, opts.Iterations)
+				return tour, l, c.Colony, nil
+			}
+		} else {
+			c, err := aco.NewRankColony(in, opts.Params, 0)
+			if err != nil {
+				return nil, err
+			}
+			run = func() ([]int32, int64, *aco.Colony, error) {
+				tour, l := c.Run(opts.Variant, opts.Iterations)
+				return tour, l, c.Colony, nil
+			}
+		}
+		tour, l, col, err := run()
+		if err != nil {
+			return nil, err
+		}
+		cpu := aco.DefaultCPU()
+		total := col.ConstructMeter
+		total.Add(&col.PheromoneMeter)
+		total.Add(&col.ChoiceMeter)
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+	case BackendGPU:
+		dev := opts.Device
+		if dev == nil {
+			dev = TeslaM2050()
+		}
+		var tour []int32
+		var l int64
+		var secs float64
+		var err error
+		if opts.Algorithm == AlgorithmEAS {
+			var e *core.EASEngine
+			if e, err = core.NewEASEngine(dev, in, opts.Params, 0); err == nil {
+				if opts.Tour != 0 {
+					e.SetTourVersion(opts.Tour)
+				}
+				tour, l, secs, err = e.Run(opts.Iterations)
+			}
+		} else {
+			var r *core.RankEngine
+			if r, err = core.NewRankEngine(dev, in, opts.Params, 0); err == nil {
+				if opts.Tour != 0 {
+					r.SetTourVersion(opts.Tour)
+				}
+				tour, l, secs, err = r.Run(opts.Iterations)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+	default:
+		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
+	}
+}
+
+// solveACS runs the Ant Colony System variant on either backend.
+func solveACS(in *Instance, opts SolveOptions) (*Result, error) {
+	p := opts.ACS
+	if p.Rho == 0 {
+		p = DefaultACSParams()
+		p.Seed = opts.Params.Seed
+	}
+	switch opts.Backend {
+	case BackendCPU:
+		c, err := aco.NewACSColony(in, p)
+		if err != nil {
+			return nil, err
+		}
+		c.ResetMeters()
+		tour, l := c.Run(opts.Iterations)
+		cpu := aco.DefaultCPU()
+		total := c.ConstructMeter
+		total.Add(&c.PheromoneMeter)
+		total.Add(&c.ChoiceMeter)
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+	case BackendGPU:
+		dev := opts.Device
+		if dev == nil {
+			dev = TeslaM2050()
+		}
+		e, err := core.NewACSEngine(dev, in, p)
+		if err != nil {
+			return nil, err
+		}
+		tour, l, secs, err := e.Run(opts.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+	default:
+		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
+	}
+}

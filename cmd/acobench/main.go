@@ -1,0 +1,189 @@
+// Command acobench regenerates the tables and figures of Cecilia et al.,
+// "Parallelization Strategies for Ant Colony Optimisation on GPUs" (2011),
+// on the simulated Tesla C1060 and M2050 devices.
+//
+// Usage:
+//
+//	acobench -all                 # every table and figure
+//	acobench -table 2             # Table II (tour construction, C1060)
+//	acobench -table 3|4           # pheromone update tables
+//	acobench -figure 4a|4b|5      # speed-up figures
+//	acobench -maxn 700            # drop instances larger than n=700
+//	acobench -budget 100000000    # per-launch lane-op sampling budget
+//	acobench -csv                 # CSV instead of aligned text
+//	acobench -paper               # print the paper's published values too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"antgpu/internal/bench"
+	"antgpu/internal/cuda"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "table to regenerate: 1, 2, 3 or 4")
+		figure   = flag.String("figure", "", "figure to regenerate: 4a, 4b or 5")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		maxN     = flag.Int("maxn", 0, "drop instances with more than this many cities (0 = keep all)")
+		budget   = flag.Int64("budget", 0, "per-launch lane-operation sampling budget (0 = default)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		paper    = flag.Bool("paper", false, "also print the paper's published values")
+		ablate   = flag.String("ablate", "", "ablation study: theta, block or nn")
+		quality  = flag.Int("quality", 0, "solution-quality table with this many iterations (0 = off)")
+		converge = flag.String("converge", "", "convergence series on this instance (e.g. kroC100)")
+	)
+	flag.Parse()
+
+	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{MaxN: *maxN, SampleBudget: *budget}
+	c1060 := cuda.TeslaC1060()
+	m2050 := cuda.TeslaM2050()
+	both := []*cuda.Device{c1060, m2050}
+
+	emit := func(t *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acobench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "acobench:", err)
+				os.Exit(1)
+			}
+		} else {
+			t.Format(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	emitPaper := func(title string, instances []string, rows map[string][]float64, order []string) {
+		if !*paper {
+			return
+		}
+		t := &bench.Table{Title: title, Unit: "milliseconds, paper's hardware", Instances: instances}
+		for _, name := range order {
+			if vals, ok := rows[name]; ok {
+				t.AddRow(name, vals)
+			}
+		}
+		t.Format(os.Stdout)
+		fmt.Println()
+	}
+
+	tableOrder := []string{
+		"1. Baseline Version", "2. Choice Kernel", "3. Without CURAND", "4. NNList",
+		"5. NNList + Shared Memory", "6. NNList + Shared&Texture Memory",
+		"7. Increasing Data Parallelism", "8. Data Parallelism + Texture Memory",
+		"Total speed-up attained",
+	}
+	pherOrder := []string{
+		"1. Atomic Ins. + Shared Memory", "2. Atomic Ins.",
+		"3. Instruction & Thread Reduction", "4. Scatter to Gather + Tilling",
+		"5. Scatter to Gather", "Total slow-down incurred", "Total slow-downs attained",
+	}
+
+	want := func(name string) bool { return *all || *table == name }
+	wantFig := func(name string) bool { return *all || *figure == name }
+
+	if want("1") {
+		fmt.Println("Table I: CUDA and hardware features (device presets)")
+		for _, d := range both {
+			fmt.Printf("  %s | SPs/SM %d | SMs %d | total SPs %d | clock %.0f MHz | "+
+				"threads/block %d | threads/SM %d | shared %d KB | mem %.0f GB | BW %.0f GB/s\n",
+				d.Name, d.CoresPerSM, d.SMs, d.TotalCores(), d.ClockHz/1e6,
+				d.MaxThreadsPerBlock, d.MaxThreadsPerSM, d.SharedMemPerSM/1024,
+				float64(d.GlobalMemBytes)/(1<<30), d.BandwidthBytesPS/1e9)
+		}
+		fmt.Println()
+	}
+	if want("2") {
+		emit(bench.TableII(c1060, cfg))
+		emitPaper("Paper Table II (Tesla C1060)", bench.PaperInstances, bench.PaperTableII, tableOrder)
+	}
+	if want("3") {
+		pcfg := cfg
+		if pcfg.Instances == nil {
+			pcfg.Instances = bench.PaperPherInstances
+		}
+		emit(bench.TablePheromone(c1060, pcfg))
+		emitPaper("Paper Table III (Tesla C1060)", bench.PaperPherInstances, bench.PaperTableIII, pherOrder)
+	}
+	if want("4") {
+		pcfg := cfg
+		if pcfg.Instances == nil {
+			pcfg.Instances = bench.PaperPherInstances
+		}
+		emit(bench.TablePheromone(m2050, pcfg))
+		emitPaper("Paper Table IV (Tesla M2050)", bench.PaperPherInstances, bench.PaperTableIV, pherOrder)
+	}
+	if wantFig("4a") {
+		emit(bench.Figure4a(both, cfg))
+		if *paper {
+			fmt.Printf("Paper: peaks ~%.2fx (C1060) / ~%.2fx (M2050) near pr1002, <1x for the smallest instances\n\n",
+				bench.PaperFig4aPeak["Tesla C1060"], bench.PaperFig4aPeak["Tesla M2050"])
+		}
+	}
+	if wantFig("4b") {
+		emit(bench.Figure4b(both, cfg))
+		if *paper {
+			fmt.Printf("Paper: up to ~%.0fx (C1060) / ~%.0fx (M2050)\n\n",
+				bench.PaperFig4bPeak["Tesla C1060"], bench.PaperFig4bPeak["Tesla M2050"])
+		}
+	}
+	if *converge != "" {
+		emit(bench.ConvergenceSeries(m2050, *converge, nil))
+	}
+
+	if *quality > 0 {
+		qcfg := cfg
+		if qcfg.Instances == nil {
+			qcfg.Instances = []string{"att48", "kroC100", "a280"}
+		}
+		emit(bench.QualityTable(m2050, qcfg, *quality))
+	}
+
+	switch *ablate {
+	case "theta":
+		pcfg := cfg
+		if pcfg.Instances == nil {
+			pcfg.Instances = []string{"kroC100", "a280", "pcb442"}
+		}
+		emit(bench.AblationTheta(c1060, pcfg, []int{32, 64, 128, 256, 512}))
+	case "block":
+		pcfg := cfg
+		if pcfg.Instances == nil {
+			pcfg.Instances = []string{"att48", "kroC100", "a280", "pcb442"}
+		}
+		emit(bench.AblationDataBlock(c1060, pcfg, []int{32, 64, 128, 256, 512}))
+	case "nn":
+		pcfg := cfg
+		if pcfg.Instances == nil {
+			pcfg.Instances = []string{"kroC100", "a280", "pcb442"}
+		}
+		emit(bench.AblationNN(c1060, pcfg, []int{10, 20, 30, 40, 60}))
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "acobench: unknown ablation %q (want theta, block or nn)\n", *ablate)
+		os.Exit(2)
+	}
+
+	if wantFig("5") {
+		pcfg := cfg
+		if pcfg.Instances == nil {
+			pcfg.Instances = bench.PaperPherInstances
+		}
+		emit(bench.Figure5(both, pcfg))
+		if *paper {
+			fmt.Printf("Paper: up to ~%.2fx (C1060) / ~%.2fx (M2050) at pr1002, <1x at the small end on C1060\n\n",
+				bench.PaperFig5Peak["Tesla C1060"], bench.PaperFig5Peak["Tesla M2050"])
+		}
+	}
+}

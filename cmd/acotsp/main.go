@@ -1,0 +1,225 @@
+// Command acotsp solves TSP instances with the Ant System, on the
+// sequential CPU baseline or on the simulated GPU with any of the paper's
+// kernel versions.
+//
+// Usage:
+//
+//	acotsp -bench att48 -iters 50                       # CPU baseline
+//	acotsp -bench pr1002 -backend gpu -device m2050     # GPU, defaults
+//	acotsp -file my.tsp -backend gpu -tour 7 -pher 1    # explicit kernels
+//	acotsp -bench kroC100 -trace                        # per-iteration log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"antgpu"
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/tsp"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "paper benchmark instance name (att48 ... pr2392)")
+		file      = flag.String("file", "", "TSPLIB file to solve instead of a named benchmark")
+		iters     = flag.Int("iters", 20, "Ant System iterations")
+		backend   = flag.String("backend", "cpu", "cpu or gpu (simulated)")
+		device    = flag.String("device", "m2050", "simulated device: c1060 or m2050")
+		tourV     = flag.Int("tour", 0, "tour construction version 1-8 (0 = auto)")
+		pherV     = flag.Int("pher", 0, "pheromone update version 1-5 (0 = atomic+shared)")
+		variant   = flag.String("variant", "nn", "CPU construction: nn or full")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		ants      = flag.Int("ants", 0, "ant count m (0 = one per city)")
+		trace     = flag.Bool("trace", false, "log per-iteration best and stage times (gpu backend)")
+		alg       = flag.String("alg", "as", "algorithm: as, acs, mmas, eas or rank")
+		ls        = flag.Bool("ls", false, "apply 2-opt local search to every ant's tour (AS only)")
+		runs      = flag.Int("runs", 1, "independent parallel runs, best-of (CPU AS only)")
+		tourOut   = flag.String("tourout", "", "write the best tour to this TSPLIB .tour file")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "acotsp:", err)
+		os.Exit(1)
+	}
+
+	var in *antgpu.Instance
+	var err error
+	switch {
+	case *file != "":
+		in, err = antgpu.ParseTSPLIB(*file)
+	case *benchName != "":
+		in, err = antgpu.LoadBenchmark(*benchName)
+	default:
+		err = fmt.Errorf("need -bench <name> or -file <path>; benchmarks: %s",
+			strings.Join(antgpu.Benchmarks(), ", "))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	p := antgpu.DefaultParams()
+	p.Seed = *seed
+	p.Ants = *ants
+
+	fmt.Printf("instance %s: %d cities (%s), %d ants, %d iterations\n",
+		in.Name, in.N(), in.Type, p.AntCount(in.N()), *iters)
+
+	if v := strings.ToLower(*alg); v == "acs" || v == "mmas" || v == "eas" || v == "rank" {
+		opts := antgpu.SolveOptions{Iterations: *iters}
+		switch v {
+		case "eas":
+			opts.Algorithm = antgpu.AlgorithmEAS
+			opts.Params = p
+		case "rank":
+			opts.Algorithm = antgpu.AlgorithmRank
+			opts.Params = p
+		case "acs":
+			opts.Algorithm = antgpu.AlgorithmACS
+			acs := antgpu.DefaultACSParams()
+			acs.Seed = *seed
+			if *ants > 0 {
+				acs.Ants = *ants
+			}
+			opts.ACS = acs
+		case "mmas":
+			opts.Algorithm = antgpu.AlgorithmMMAS
+			mmas := antgpu.DefaultMMASParams()
+			mmas.Seed = *seed
+			if *ants > 0 {
+				mmas.Ants = *ants
+			}
+			opts.MMAS = mmas
+		}
+		clock := "modelled CPU"
+		if *backend == "gpu" {
+			opts.Backend = antgpu.BackendGPU
+			if strings.EqualFold(*device, "c1060") {
+				opts.Device = antgpu.TeslaC1060()
+			} else {
+				opts.Device = antgpu.TeslaM2050()
+			}
+			fmt.Printf("device: %s\n", opts.Device)
+			clock = "simulated GPU"
+		}
+		res, err := antgpu.Solve(in, opts)
+		if err != nil {
+			fail(err)
+		}
+		report(in, res.BestTour, res.BestLen, res.SimulatedSeconds, clock)
+		return
+	}
+
+	if *backend == "cpu" {
+		v := aco.NNListConstruction
+		if *variant == "full" {
+			v = aco.FullProbabilistic
+		}
+		if *runs > 1 {
+			results, best, err := aco.IndependentRuns(in, p, v, *runs, *iters)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("best of %d independent runs (seed %d):\n", *runs, results[best].Seed)
+			report(in, results[best].BestTour, results[best].BestLen, 0, "modelled CPU")
+			writeTour(*tourOut, in, results[best].BestTour)
+			return
+		}
+		res, err := antgpu.Solve(in, antgpu.SolveOptions{
+			Params: p, Iterations: *iters, Variant: v, LocalSearch: *ls,
+		})
+		if err != nil {
+			fail(err)
+		}
+		report(in, res.BestTour, res.BestLen, res.SimulatedSeconds, "modelled CPU")
+		writeTour(*tourOut, in, res.BestTour)
+		return
+	}
+
+	var dev *antgpu.Device
+	switch strings.ToLower(*device) {
+	case "c1060":
+		dev = antgpu.TeslaC1060()
+	case "m2050":
+		dev = antgpu.TeslaM2050()
+	default:
+		fail(fmt.Errorf("unknown device %q (want c1060 or m2050)", *device))
+	}
+	fmt.Printf("device: %s\n", dev)
+
+	if !*trace {
+		res, err := antgpu.Solve(in, antgpu.SolveOptions{
+			Params: p, Iterations: *iters, Backend: antgpu.BackendGPU,
+			Device: dev, Tour: antgpu.TourVersion(*tourV), Pher: antgpu.PherVersion(*pherV),
+			LocalSearch: *ls,
+		})
+		if err != nil {
+			fail(err)
+		}
+		report(in, res.BestTour, res.BestLen, res.SimulatedSeconds, "simulated GPU")
+		writeTour(*tourOut, in, res.BestTour)
+		return
+	}
+
+	// Traced run: drive the engine directly for per-iteration detail.
+	e, err := core.NewEngine(dev, in, p)
+	if err != nil {
+		fail(err)
+	}
+	tv := antgpu.TourVersion(*tourV)
+	if tv == 0 {
+		tv = antgpu.TourNNSharedTexture
+	}
+	pv := antgpu.PherVersion(*pherV)
+	if pv == 0 {
+		pv = antgpu.PherAtomicShared
+	}
+	fmt.Printf("kernels: %v / %v\n", tv, pv)
+	total := 0.0
+	for i := 1; i <= *iters; i++ {
+		res, err := e.Iterate(tv, pv)
+		if err != nil {
+			fail(err)
+		}
+		total += res.Construct.Seconds() + res.Update.Seconds()
+		_, best := e.Best()
+		fmt.Printf("iter %3d: best %8d | construct %8.3f ms | update %8.3f ms\n",
+			i, best, res.Construct.Millis(), res.Update.Millis())
+	}
+	tour, best := e.Best()
+	report(in, tour, best, total, "simulated GPU")
+	writeTour(*tourOut, in, tour)
+}
+
+// writeTour saves the tour in TSPLIB TOUR format when a path was given.
+func writeTour(path string, in *antgpu.Instance, tour []int32) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acotsp:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tsp.WriteTour(f, in.Name+".tour", tour); err != nil {
+		fmt.Fprintln(os.Stderr, "acotsp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote best tour to %s\n", path)
+}
+
+func report(in *antgpu.Instance, tour []int32, best int64, secs float64, clock string) {
+	if err := in.ValidTour(tour); err != nil {
+		fmt.Fprintln(os.Stderr, "acotsp: INVALID RESULT:", err)
+		os.Exit(1)
+	}
+	nn := in.TourLength(in.NearestNeighbourTour(0))
+	fmt.Printf("best tour length: %d (greedy NN baseline: %d, ratio %.3f)\n",
+		best, nn, float64(best)/float64(nn))
+	fmt.Printf("%s time: %.3f ms\n", clock, secs*1e3)
+}

@@ -1,0 +1,85 @@
+// Command tspgen writes the reproduction's deterministic synthetic TSP
+// instances — or custom ones — as standard TSPLIB files, so they can be fed
+// to other TSP tools (or back into acotsp -file).
+//
+// Usage:
+//
+//	tspgen -bench att48                       # a paper stand-in to att48.tsp
+//	tspgen -bench all -dir ./instances        # the full paper set
+//	tspgen -n 500 -seed 7 -clusters 8 -o c500.tsp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"antgpu/internal/tsp"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "paper benchmark to emit (att48 ... pr2392, or 'all')")
+		n         = flag.Int("n", 0, "generate a custom instance with this many cities")
+		seed      = flag.Uint64("seed", 1, "generation seed (custom instances)")
+		clusters  = flag.Int("clusters", 0, "number of point clusters (0 = uniform)")
+		width     = flag.Float64("width", 10000, "coordinate range (custom instances)")
+		out       = flag.String("o", "", "output file (default <name>.tsp)")
+		dir       = flag.String("dir", ".", "output directory")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tspgen:", err)
+		os.Exit(1)
+	}
+
+	write := func(in *tsp.Instance, path string) {
+		if path == "" {
+			path = filepath.Join(*dir, in.Name+".tsp")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := tsp.Write(f, in); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d cities, %s)\n", path, in.N(), in.Type)
+	}
+
+	switch {
+	case *benchName == "all":
+		for _, name := range tsp.PaperBenchmarks {
+			in, err := tsp.LoadBenchmark(name)
+			if err != nil {
+				fail(err)
+			}
+			write(in, "")
+		}
+	case *benchName != "":
+		in, err := tsp.LoadBenchmark(*benchName)
+		if err != nil {
+			fail(err)
+		}
+		write(in, *out)
+	case *n > 0:
+		in, err := tsp.Generate(tsp.GenSpec{
+			Name:     fmt.Sprintf("synth%d", *n),
+			N:        *n,
+			Type:     tsp.Euc2D,
+			Seed:     *seed,
+			Width:    *width,
+			Clusters: *clusters,
+		})
+		if err != nil {
+			fail(err)
+		}
+		write(in, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

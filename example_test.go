@@ -1,0 +1,65 @@
+package antgpu_test
+
+import (
+	"fmt"
+
+	"antgpu"
+)
+
+// The quickest way to solve a TSP instance with the Ant System.
+func ExampleSolve() {
+	in, _ := antgpu.LoadBenchmark("att48")
+	res, _ := antgpu.Solve(in, antgpu.SolveOptions{Iterations: 10})
+	fmt.Println(in.ValidTour(res.BestTour) == nil)
+	fmt.Println(len(res.BestTour) == in.N())
+	// Output:
+	// true
+	// true
+}
+
+// Running the paper's GPU design on the simulated Tesla M2050. The
+// simulated time is deterministic: the same seed always reports the same
+// milliseconds.
+func ExampleSolve_gpu() {
+	in, _ := antgpu.LoadBenchmark("att48")
+	opts := antgpu.SolveOptions{
+		Iterations: 5,
+		Backend:    antgpu.BackendGPU,
+		Device:     antgpu.TeslaM2050(),
+		Tour:       antgpu.TourDataParallelTexture, // Table II version 8
+		Pher:       antgpu.PherAtomicShared,        // Table III version 1
+	}
+	a, _ := antgpu.Solve(in, opts)
+	b, _ := antgpu.Solve(in, opts)
+	fmt.Println(a.BestLen == b.BestLen)
+	fmt.Println(a.SimulatedSeconds == b.SimulatedSeconds && a.SimulatedSeconds > 0)
+	// Output:
+	// true
+	// true
+}
+
+// The Ant Colony System variant (the paper's stated future work) with ten
+// ants instead of one per city.
+func ExampleSolve_acs() {
+	in, _ := antgpu.LoadBenchmark("att48")
+	res, _ := antgpu.Solve(in, antgpu.SolveOptions{
+		Algorithm:  antgpu.AlgorithmACS,
+		Iterations: 10,
+		Backend:    antgpu.BackendGPU,
+	})
+	greedy := in.TourLength(in.NearestNeighbourTour(0))
+	fmt.Println(res.BestLen < greedy) // ACS beats the greedy tour quickly
+	// Output:
+	// true
+}
+
+// Benchmarks lists the paper's TSPLIB instance set.
+func ExampleBenchmarks() {
+	for _, name := range antgpu.Benchmarks()[:3] {
+		fmt.Println(name)
+	}
+	// Output:
+	// att48
+	// kroC100
+	// a280
+}

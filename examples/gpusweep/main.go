@@ -1,0 +1,57 @@
+// gpusweep walks through the paper's eight tour-construction kernel
+// versions on one instance and both devices, printing the per-kernel
+// breakdown (which kernels a stage launches, what bounds each one) — a
+// miniature of the paper's Table II with the reasoning made visible.
+//
+//	go run ./examples/gpusweep [instance]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"antgpu"
+	"antgpu/internal/core"
+)
+
+func main() {
+	name := "a280"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	in, err := antgpu.LoadBenchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, dev := range []*antgpu.Device{antgpu.TeslaC1060(), antgpu.TeslaM2050()} {
+		fmt.Printf("=== %s — tour construction on %s (%d cities, %d ants)\n\n",
+			dev.Name, in.Name, in.N(), in.N())
+		var base float64
+		for _, v := range core.TourVersions {
+			// A fresh engine per version: each row of Table II measures one
+			// iteration from the same initial pheromone state.
+			e, err := core.NewEngine(dev, in, antgpu.DefaultParams())
+			if err != nil {
+				log.Fatal(err)
+			}
+			e.SampleBudget = 64 << 20
+			stage, err := e.ConstructTours(v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms := stage.Millis()
+			if v == core.TourBaseline {
+				base = ms
+			}
+			fmt.Printf("%-38s %10.3f ms   (%.1fx vs baseline)\n", v, ms, base/ms)
+			for _, k := range stage.Kernels {
+				fmt.Printf("    %-16s %10.3f ms   %s-bound, occupancy %d blocks/SM (%s)\n",
+					k.Name, k.Millis(), k.Breakdown.Bound,
+					k.Occupancy.BlocksPerSM, k.Occupancy.LimitedBy)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,89 @@
+// pheromone compares the paper's five pheromone-update strategies on one
+// instance: simulated time, memory traffic, and atomic-contention
+// statistics — the trade-off at the heart of the paper's §IV-B (atomic
+// instructions versus the scatter-to-gather transformation).
+//
+//	go run ./examples/pheromone [instance]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"antgpu"
+	"antgpu/internal/core"
+)
+
+func main() {
+	name := "kroC100"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	in, err := antgpu.LoadBenchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := antgpu.TeslaC1060()
+
+	// Construct one set of tours; every strategy updates from the same
+	// state so the comparison is apples to apples.
+	e, err := core.NewEngine(dev, in, antgpu.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.SampleBudget = 64 << 20
+	if _, err := e.ConstructTours(core.TourNNList); err != nil {
+		log.Fatal(err)
+	}
+	snapshot := make([]float64, len(e.Pheromone()))
+	for i, v := range e.Pheromone() {
+		snapshot[i] = float64(v)
+	}
+
+	fmt.Printf("pheromone update on %s: %s, %d ants, %d matrix cells\n\n",
+		dev.Name, in.Name, in.N(), in.N()*in.N())
+	fmt.Printf("%-36s %12s %14s %12s %14s\n",
+		"version", "time (ms)", "DRAM traffic", "atomics", "serial extra")
+
+	var atomicMs float64
+	for _, v := range core.PherVersions {
+		if err := e.SetPheromone(snapshot); err != nil {
+			log.Fatal(err)
+		}
+		stage, err := e.UpdatePheromone(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var bytes float64
+		var atomics int64
+		var serial float64
+		for _, k := range stage.Kernels {
+			bytes += k.Meter.GlobalBytes(dev)
+			atomics += k.Meter.AtomicOps
+			serial += k.Meter.AtomicSerialExtra
+		}
+		if v == core.PherAtomicShared {
+			atomicMs = stage.Millis()
+		}
+		fmt.Printf("%-36s %12.3f %14s %12d %14.0f\n",
+			v, stage.Millis(), fmtBytes(bytes), atomics, serial)
+	}
+
+	fmt.Printf("\nThe paper's conclusion, §VI: avoiding atomics costs more than paying\n")
+	fmt.Printf("for them — here the scatter-to-gather versions are 10-1000x slower\n")
+	fmt.Printf("than the %.3f ms atomic kernel, and the gap grows as n^2.\n", atomicMs)
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: solve a TSP instance with the Ant System on the CPU baseline
+// and on the simulated GPU, and compare tour quality and (simulated) time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"antgpu"
+)
+
+func main() {
+	in, err := antgpu.LoadBenchmark("kroC100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solving %s (%d cities) with the Ant System, m = n ants\n\n", in.Name, in.N())
+
+	// Sequential baseline: the Stützle-style CPU Ant System.
+	cpu, err := antgpu.Solve(in, antgpu.SolveOptions{Iterations: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPU  backend: best %6d   modelled time %8.2f ms\n",
+		cpu.BestLen, cpu.SimulatedSeconds*1e3)
+
+	// The paper's GPU design on the simulated Tesla M2050: data-parallel
+	// tour construction (one block per ant, one thread per city) and the
+	// atomic + shared-memory pheromone update.
+	gpu, err := antgpu.Solve(in, antgpu.SolveOptions{
+		Iterations: 30,
+		Backend:    antgpu.BackendGPU,
+		Device:     antgpu.TeslaM2050(),
+		Tour:       antgpu.TourDataParallelTexture,
+		Pher:       antgpu.PherAtomicShared,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPU  backend: best %6d   simulated time %7.2f ms (%s)\n",
+		gpu.BestLen, gpu.SimulatedSeconds*1e3, "Tesla M2050")
+
+	greedy := in.TourLength(in.NearestNeighbourTour(0))
+	fmt.Printf("\ngreedy nearest-neighbour baseline: %d\n", greedy)
+	fmt.Printf("speed-up (modelled CPU / simulated GPU): %.1fx\n",
+		cpu.SimulatedSeconds/gpu.SimulatedSeconds)
+}

@@ -1,0 +1,61 @@
+// variants compares the paper's Ant System against the extensions this
+// library adds — AS + 2-opt local search, the Ant Colony System (the
+// paper's stated future GPU work), and the Max-Min Ant System of its
+// related work — on both backends: best tour found and simulated time for
+// the same iteration budget. The ACS and MMAS GPU paths reuse and extend
+// the paper's data-parallel block-per-ant kernel design.
+//
+//	go run ./examples/variants [instance]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"antgpu"
+)
+
+func main() {
+	name := "kroC100"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	in, err := antgpu.LoadBenchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const iters = 40
+	greedy := in.TourLength(in.NearestNeighbourTour(0))
+	fmt.Printf("%s: %d cities, %d iterations, greedy NN tour %d\n\n", in.Name, in.N(), iters, greedy)
+	fmt.Printf("%-28s %10s %14s %10s\n", "configuration", "best", "sim time (ms)", "vs greedy")
+
+	run := func(label string, opts antgpu.SolveOptions) {
+		opts.Iterations = iters
+		res, err := antgpu.Solve(in, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10d %14.2f %9.3fx\n",
+			label, res.BestLen, res.SimulatedSeconds*1e3, float64(res.BestLen)/float64(greedy))
+	}
+
+	run("AS, CPU", antgpu.SolveOptions{})
+	run("AS, GPU (M2050)", antgpu.SolveOptions{Backend: antgpu.BackendGPU})
+	run("AS + 2-opt, CPU", antgpu.SolveOptions{LocalSearch: true})
+	run("AS + 2-opt, GPU (M2050)", antgpu.SolveOptions{LocalSearch: true, Backend: antgpu.BackendGPU})
+	run("EAS, GPU (M2050)", antgpu.SolveOptions{Algorithm: antgpu.AlgorithmEAS, Backend: antgpu.BackendGPU})
+	run("ASrank, GPU (M2050)", antgpu.SolveOptions{Algorithm: antgpu.AlgorithmRank, Backend: antgpu.BackendGPU})
+	run("ACS, CPU", antgpu.SolveOptions{Algorithm: antgpu.AlgorithmACS})
+	run("ACS, GPU (M2050)", antgpu.SolveOptions{Algorithm: antgpu.AlgorithmACS, Backend: antgpu.BackendGPU})
+	run("MMAS, CPU", antgpu.SolveOptions{Algorithm: antgpu.AlgorithmMMAS})
+	run("MMAS, GPU (M2050)", antgpu.SolveOptions{Algorithm: antgpu.AlgorithmMMAS, Backend: antgpu.BackendGPU})
+
+	fmt.Println("\nACS builds 10 tours per iteration instead of n and exploits the best-so-far")
+	fmt.Println("tour; MMAS clamps trails to [τmin, τmax] and needs no atomics at all in its")
+	fmt.Println("update; AS + 2-opt polishes every ant's tour with local search. All three")
+	fmt.Println("run on the CPU baseline and on the paper's data-parallel GPU designs.")
+	fmt.Println("Note: MMAS is a long-horizon strategy — its optimistic τmax start explores")
+	fmt.Println("for roughly 1/ρ iterations before the trail differential bites, so give it")
+	fmt.Println("a few hundred iterations to overtake the others.")
+}

@@ -1,0 +1,3 @@
+module antgpu
+
+go 1.24

@@ -1,0 +1,73 @@
+package aco
+
+// Meter counts the work performed by a CPU stage. The counters are
+// incremented with the actual loop trip counts of the executed code, so
+// meters are exact for a given run, and — because every stream is seeded —
+// deterministic.
+type Meter struct {
+	Ops       float64 // simple scalar operations (ALU + L1-resident loads)
+	Pow       float64 // math.Pow calls
+	RNG       float64 // random draws
+	Bytes     float64 // bytes streamed through memory (matrix-scale scans)
+	Fallbacks int64   // NN-list construction fall-back-to-best events
+}
+
+// Add accumulates o into m.
+func (m *Meter) Add(o *Meter) {
+	m.Ops += o.Ops
+	m.Pow += o.Pow
+	m.RNG += o.RNG
+	m.Bytes += o.Bytes
+	m.Fallbacks += o.Fallbacks
+}
+
+// Scale multiplies every counter by f (used when only a sample of the ants
+// was constructed).
+func (m *Meter) Scale(f float64) {
+	m.Ops *= f
+	m.Pow *= f
+	m.RNG *= f
+	m.Bytes *= f
+	m.Fallbacks = int64(float64(m.Fallbacks)*f + 0.5)
+}
+
+// CPUModel converts CPU meters into deterministic times, playing the role
+// the host machine plays for the sequential code in the paper. The defaults
+// model the class of Xeon the original study would have used: a ~3 GHz core
+// sustaining about half an operation-pipeline of branchy scalar FP code,
+// libm pow at a few tens of nanoseconds, and a handful of GB/s of achievable
+// DRAM bandwidth for matrix-scale streams.
+type CPUModel struct {
+	Name        string
+	OpsPerSec   float64 // sustained simple-op throughput
+	PowCostOps  float64 // one math.Pow in units of simple ops
+	RNGCostOps  float64 // one random draw in units of simple ops
+	BandwidthPS float64 // sustained DRAM bandwidth, bytes/second
+}
+
+// DefaultCPU returns the reference sequential machine model used by the
+// benchmark harness.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		Name:        "reference Xeon core (3 GHz)",
+		OpsPerSec:   1.5e9,
+		PowCostOps:  60,
+		RNGCostOps:  12,
+		BandwidthPS: 6e9,
+	}
+}
+
+// Seconds estimates the wall time of a metered stage on the modelled CPU:
+// the operation stream at the sustained rate, bounded below by the memory
+// stream at the sustained bandwidth.
+func (c CPUModel) Seconds(m *Meter) float64 {
+	ops := m.Ops + m.Pow*c.PowCostOps + m.RNG*c.RNGCostOps
+	t := ops / c.OpsPerSec
+	if mem := m.Bytes / c.BandwidthPS; mem > t {
+		t = mem
+	}
+	return t
+}
+
+// Millis is Seconds in milliseconds.
+func (c CPUModel) Millis(m *Meter) float64 { return c.Seconds(m) * 1e3 }

@@ -1,0 +1,173 @@
+package aco
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"antgpu/internal/tsp"
+)
+
+// Coarse-grained parallelization strategies from the paper's related work
+// (§III), implemented with real host parallelism (goroutines):
+//
+//   - IndependentRuns — Stützle (1998): "the simplest case of ACO
+//     parallelisation", independent colonies with different seeds and no
+//     communication; the final solution is the best over all runs.
+//   - IslandModel — Michel & Middendorf (1998): separate colonies that
+//     periodically exchange pheromone information; here, every exchange
+//     interval each island blends its pheromone matrix towards the matrix
+//     of the island holding the best tour so far.
+
+// RunResult is the outcome of one colony in a parallel strategy.
+type RunResult struct {
+	Seed     uint64
+	BestTour []int32
+	BestLen  int64
+}
+
+// IndependentRuns executes `runs` Ant System colonies in parallel with
+// seeds base+0..runs-1 and returns every colony's result plus the index of
+// the best. The colonies share nothing, matching Stützle's
+// non-communicating parallel runs.
+func IndependentRuns(in *tsp.Instance, p Params, v Variant, runs, iters int) ([]RunResult, int, error) {
+	if runs < 1 {
+		return nil, 0, fmt.Errorf("aco: IndependentRuns needs runs >= 1, got %d", runs)
+	}
+	results := make([]RunResult, runs)
+	errs := make([]error, runs)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pp := p
+			pp.Seed = p.Seed + uint64(r)
+			c, err := New(in, pp)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			tour, l := c.Run(v, iters)
+			results[r] = RunResult{Seed: pp.Seed, BestTour: append([]int32(nil), tour...), BestLen: l}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	best := 0
+	for r := 1; r < runs; r++ {
+		if results[r].BestLen < results[best].BestLen {
+			best = r
+		}
+	}
+	return results, best, nil
+}
+
+// IslandConfig configures the island model.
+type IslandConfig struct {
+	Islands       int     // number of colonies (>= 2)
+	ExchangeEvery int     // iterations between pheromone exchanges
+	Blend         float64 // how far each island moves towards the leader's matrix, (0, 1]
+}
+
+// DefaultIslandConfig returns a 4-island setup exchanging every 10
+// iterations with a 0.3 blend.
+func DefaultIslandConfig() IslandConfig {
+	return IslandConfig{Islands: 4, ExchangeEvery: 10, Blend: 0.3}
+}
+
+// Validate checks the island configuration.
+func (c *IslandConfig) Validate() error {
+	if c.Islands < 2 {
+		return fmt.Errorf("aco: island model needs >= 2 islands, got %d", c.Islands)
+	}
+	if c.ExchangeEvery < 1 {
+		return fmt.Errorf("aco: ExchangeEvery = %d, need >= 1", c.ExchangeEvery)
+	}
+	if c.Blend <= 0 || c.Blend > 1 {
+		return fmt.Errorf("aco: Blend = %v out of (0, 1]", c.Blend)
+	}
+	return nil
+}
+
+// IslandModel runs `cfg.Islands` Ant System colonies with different seeds,
+// iterating in parallel between synchronisation points. At every exchange,
+// the island with the current best tour leads, and every other island
+// blends its pheromone matrix towards the leader's:
+// τ_i ← (1-b)·τ_i + b·τ_leader. Returns the best tour found anywhere.
+func IslandModel(in *tsp.Instance, p Params, v Variant, cfg IslandConfig, iters int) ([]int32, int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	colonies := make([]*Colony, cfg.Islands)
+	for i := range colonies {
+		pp := p
+		pp.Seed = p.Seed + uint64(i)*1000003
+		c, err := New(in, pp)
+		if err != nil {
+			return nil, 0, err
+		}
+		colonies[i] = c
+	}
+
+	iterateAll := func(count int) {
+		var wg sync.WaitGroup
+		for _, c := range colonies {
+			wg.Add(1)
+			go func(c *Colony) {
+				defer wg.Done()
+				for k := 0; k < count; k++ {
+					c.Iterate(v)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	done := 0
+	for done < iters {
+		step := cfg.ExchangeEvery
+		if done+step > iters {
+			step = iters - done
+		}
+		iterateAll(step)
+		done += step
+		if done >= iters {
+			break
+		}
+		// Exchange: blend towards the leader's pheromone.
+		leader := 0
+		for i := 1; i < len(colonies); i++ {
+			if colonies[i].BestLen < colonies[leader].BestLen {
+				leader = i
+			}
+		}
+		lead := colonies[leader].Pher
+		b := cfg.Blend
+		for i, c := range colonies {
+			if i == leader {
+				continue
+			}
+			for j := range c.Pher {
+				c.Pher[j] = (1-b)*c.Pher[j] + b*lead[j]
+			}
+			c.ComputeChoiceInfo()
+		}
+	}
+
+	best := 0
+	for i := 1; i < len(colonies); i++ {
+		if colonies[i].BestLen < colonies[best].BestLen {
+			best = i
+		}
+	}
+	return colonies[best].BestTour, colonies[best].BestLen, nil
+}

@@ -1,0 +1,58 @@
+// Package aco implements the sequential CPU Ant System, the baseline the
+// paper measures all GPU speed-ups against (Stützle's ANSI-C ACOTSP code,
+// ported to Go). Both tour-construction strategies of the paper are
+// provided: the fully probabilistic random-proportional rule over all
+// cities, and the nearest-neighbour-list construction with
+// fall-back-to-best. The implementation is instrumented with operation
+// meters so the CPU side of every figure is estimated by the same
+// deterministic methodology as the simulated GPU side.
+package aco
+
+import "fmt"
+
+// Params are the Ant System parameters. Defaults follow Dorigo & Stützle,
+// "Ant Colony Optimization" (2004), the source the paper cites for its
+// settings: α = 1, β = 2, ρ = 0.5, m = n ants, and nn = 30 nearest
+// neighbours when the NN-list construction is used.
+type Params struct {
+	Alpha float64 // pheromone influence
+	Beta  float64 // heuristic influence
+	Rho   float64 // evaporation rate, 0 < ρ <= 1
+	Ants  int     // m; 0 means m = n
+	NN    int     // nearest-neighbour list length for NN construction
+	Seed  uint64  // base RNG seed
+}
+
+// DefaultParams returns the paper's parameter settings.
+func DefaultParams() Params {
+	return Params{Alpha: 1, Beta: 2, Rho: 0.5, Ants: 0, NN: 30, Seed: 1}
+}
+
+// Validate checks parameter sanity for an instance of n cities.
+func (p *Params) Validate(n int) error {
+	if p.Alpha < 0 || p.Beta < 0 {
+		return fmt.Errorf("aco: negative alpha/beta (%v, %v)", p.Alpha, p.Beta)
+	}
+	if p.Rho <= 0 || p.Rho > 1 {
+		return fmt.Errorf("aco: rho = %v out of (0, 1]", p.Rho)
+	}
+	if p.Ants < 0 {
+		return fmt.Errorf("aco: negative ant count %d", p.Ants)
+	}
+	if p.NN < 1 {
+		return fmt.Errorf("aco: NN = %d, need >= 1", p.NN)
+	}
+	if n < 3 {
+		return fmt.Errorf("aco: instance too small (n = %d)", n)
+	}
+	return nil
+}
+
+// AntCount resolves the effective number of ants for an instance of n
+// cities (m = n when Ants is zero, as the paper sets it).
+func (p *Params) AntCount(n int) int {
+	if p.Ants > 0 {
+		return p.Ants
+	}
+	return n
+}

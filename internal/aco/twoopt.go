@@ -1,0 +1,211 @@
+package aco
+
+import "antgpu/internal/tsp"
+
+// 2-opt local search in the style of ACOTSP's two_opt_first: first-
+// improvement over the nearest-neighbour candidate lists, with don't-look
+// bits, scanning both tour directions, and reversing the shorter side of
+// the broken cycle. Dorigo & Stützle recommend coupling the Ant System
+// with exactly this local search; the paper's sequential baseline ships it.
+
+// TwoOpt improves the tour in place until it is 2-opt-optimal with respect
+// to the nn-nearest-neighbour candidate moves, and returns the resulting
+// tour length. nnList is the row-major n×nn list from Instance.NNList.
+// The meter (optional) is charged with the scans and reversals performed.
+func TwoOpt(in *tsp.Instance, tour []int32, nnList []int32, nn int, mtr *Meter) int64 {
+	n := in.N()
+	if len(tour) != n {
+		panic("aco: TwoOpt tour length mismatch")
+	}
+	ls := &twoOptState{
+		in:     in,
+		n:      n,
+		nn:     nn,
+		nnList: nnList,
+		tour:   tour,
+		pos:    make([]int32, n),
+		dlb:    make([]bool, n),
+	}
+	for p, c := range tour {
+		ls.pos[c] = int32(p)
+	}
+	ls.run()
+	if mtr != nil {
+		mtr.Ops += ls.ops
+		mtr.Bytes += ls.bytes
+	}
+	return in.TourLength(tour)
+}
+
+type twoOptState struct {
+	in     *tsp.Instance
+	n, nn  int
+	nnList []int32
+	tour   []int32
+	pos    []int32
+	dlb    []bool
+
+	ops   float64
+	bytes float64
+}
+
+func (ls *twoOptState) dist(a, b int32) int32 { return ls.in.Dist(int(a), int(b)) }
+
+// succ and pred walk the tour cyclically.
+func (ls *twoOptState) succ(c int32) int32 {
+	p := int(ls.pos[c]) + 1
+	if p == ls.n {
+		p = 0
+	}
+	return ls.tour[p]
+}
+
+func (ls *twoOptState) pred(c int32) int32 {
+	p := int(ls.pos[c]) - 1
+	if p < 0 {
+		p = ls.n - 1
+	}
+	return ls.tour[p]
+}
+
+// run applies first-improvement 2-opt moves until no candidate move
+// improves the tour.
+func (ls *twoOptState) run() {
+	improvement := true
+	for improvement {
+		improvement = false
+		for c1 := int32(0); int(c1) < ls.n; c1++ {
+			if ls.dlb[c1] {
+				continue
+			}
+			if ls.improveCity(c1) {
+				improvement = true
+			} else {
+				ls.dlb[c1] = true
+			}
+		}
+	}
+}
+
+// improveCity tries the candidate moves around c1 in both directions and
+// applies the first improving one.
+func (ls *twoOptState) improveCity(c1 int32) bool {
+	// Successor direction: break edges (c1, succ c1) and (c2, succ c2).
+	s1 := ls.succ(c1)
+	radius := ls.dist(c1, s1)
+	ls.ops += 6
+	for h := 0; h < ls.nn; h++ {
+		c2 := ls.nnList[int(c1)*ls.nn+h]
+		dC1C2 := ls.dist(c1, c2)
+		ls.ops += 6
+		ls.bytes += 8
+		if dC1C2 >= radius {
+			break // the list is sorted: no closer candidate remains
+		}
+		s2 := ls.succ(c2)
+		if s2 == c1 || c2 == s1 {
+			continue // degenerate: shared edge
+		}
+		gain := int64(radius) + int64(ls.dist(c2, s2)) - int64(dC1C2) - int64(ls.dist(s1, s2))
+		ls.ops += 8
+		if gain > 0 {
+			ls.apply(c1, s1, c2, s2)
+			return true
+		}
+	}
+
+	// Predecessor direction: break edges (pred c1, c1) and (pred c2, c2) —
+	// the same move type viewed against the tour orientation.
+	p1 := ls.pred(c1)
+	radius = ls.dist(p1, c1)
+	ls.ops += 6
+	for h := 0; h < ls.nn; h++ {
+		c2 := ls.nnList[int(c1)*ls.nn+h]
+		dC1C2 := ls.dist(c1, c2)
+		ls.ops += 6
+		ls.bytes += 8
+		if dC1C2 >= radius {
+			break
+		}
+		p2 := ls.pred(c2)
+		if p2 == c1 || p1 == c2 {
+			continue
+		}
+		gain := int64(radius) + int64(ls.dist(p2, c2)) - int64(dC1C2) - int64(ls.dist(p1, p2))
+		ls.ops += 8
+		if gain > 0 {
+			// Breaking (p1,c1) and (p2,c2) and adding (p1,p2),(c1,c2) is
+			// the successor-form move with roles (p2, c2, p1, c1).
+			ls.apply(p2, c2, p1, c1)
+			return true
+		}
+	}
+	return false
+}
+
+// apply performs the 2-opt exchange that removes edges (c1,s1) and (c2,s2)
+// and adds (c1,c2) and (s1,s2), by reversing the tour segment from s1 to
+// c2 (or the complementary segment if that one is shorter). Don't-look
+// bits of the four endpoints are reset.
+func (ls *twoOptState) apply(c1, s1, c2, s2 int32) {
+	n := ls.n
+	i := int(ls.pos[s1])
+	j := int(ls.pos[c2])
+	inner := j - i
+	if inner < 0 {
+		inner += n
+	}
+	inner++ // segment s1..c2 inclusive
+	if inner <= n-inner {
+		ls.reverse(i, inner)
+	} else {
+		// Reversing the complement (s2..c1) yields the same new tour up to
+		// orientation.
+		ls.reverse(int(ls.pos[s2]), n-inner)
+	}
+	ls.dlb[c1] = false
+	ls.dlb[s1] = false
+	ls.dlb[c2] = false
+	ls.dlb[s2] = false
+}
+
+// reverse flips `length` tour positions starting at position i (cyclic).
+func (ls *twoOptState) reverse(i, length int) {
+	n := ls.n
+	a := i
+	b := i + length - 1
+	for k := 0; k < length/2; k++ {
+		pa := a % n
+		pb := b % n
+		ls.tour[pa], ls.tour[pb] = ls.tour[pb], ls.tour[pa]
+		ls.pos[ls.tour[pa]] = int32(pa)
+		ls.pos[ls.tour[pb]] = int32(pb)
+		a++
+		b--
+	}
+	ls.ops += float64(length/2) * 8
+	ls.bytes += float64(length/2) * 16
+}
+
+// LocalSearchTours applies 2-opt to the first `count` ants' tours (all of
+// them when count >= m), updating the recorded lengths and the best-so-far.
+func (c *Colony) LocalSearchTours(count int) {
+	if count > c.m {
+		count = c.m
+	}
+	n := c.n
+	mtr := Meter{}
+	for ant := 0; ant < count; ant++ {
+		tour := c.Tours[ant*n : (ant+1)*n]
+		l := TwoOpt(c.In, tour, c.nnList, c.nn, &mtr)
+		c.Lengths[ant] = l
+		if l < c.BestLen {
+			c.BestLen = l
+			if c.BestTour == nil {
+				c.BestTour = make([]int32, n)
+			}
+			copy(c.BestTour, tour)
+		}
+	}
+	c.ConstructMeter.Add(&mtr)
+}

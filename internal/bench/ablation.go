@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out: the
+// shared-memory tour tile length θ of the tiled pheromone kernels, the
+// block size of the data-parallel construction kernel, and the
+// nearest-neighbour list length of the NN construction. Each returns a
+// Table with one row per parameter value.
+
+// AblationTheta sweeps θ for the tiled scatter-to-gather pheromone kernel
+// (version 4). The paper derives γ = 2n⁴/θ global accesses: larger tiles
+// amortise global traffic until shared memory and occupancy push back.
+func AblationTheta(dev *cuda.Device, cfg Config, thetas []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Ablation: scatter-to-gather tile size θ (version 4), %s", dev.Name),
+		Unit:      "milliseconds per iteration, simulated",
+		Instances: cfg.Instances,
+	}
+	for _, theta := range thetas {
+		vals := make([]float64, len(instances))
+		for i, in := range instances {
+			ms, err := pherTiledMillis(dev, in, cfg, theta)
+			if err != nil {
+				return nil, fmt.Errorf("theta %d on %s: %w", theta, in.Name, err)
+			}
+			vals[i] = ms
+		}
+		t.AddRow(fmt.Sprintf("theta = %d", theta), vals)
+	}
+	return t, nil
+}
+
+func pherTiledMillis(dev *cuda.Device, in *tsp.Instance, cfg Config, theta int) (float64, error) {
+	e, err := core.NewEngineWithOptions(dev, in, cfg.Params, core.EngineOptions{TileTheta: theta})
+	if err != nil {
+		return 0, err
+	}
+	e.SampleBudget = cfg.SampleBudget
+	if _, err := e.ConstructTours(core.TourNNList); err != nil {
+		return 0, err
+	}
+	stage, err := e.UpdatePheromone(core.PherScatterGatherTiled)
+	if err != nil {
+		return 0, err
+	}
+	return stage.Millis(), nil
+}
+
+// AblationDataBlock sweeps the data-parallel construction kernel's block
+// size (version 7): more threads mean fewer tiles per step but a longer
+// reduction and lower occupancy headroom.
+func AblationDataBlock(dev *cuda.Device, cfg Config, sizes []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Ablation: data-parallel block size (version 7), %s", dev.Name),
+		Unit:      "milliseconds per iteration, simulated",
+		Instances: cfg.Instances,
+	}
+	for _, size := range sizes {
+		vals := make([]float64, len(instances))
+		for i, in := range instances {
+			if size*32 < in.N() {
+				vals[i] = nan() // tabu bitmask cannot cover the cities
+				continue
+			}
+			e, err := core.NewEngineWithOptions(dev, in, cfg.Params, core.EngineOptions{DataBlockThreads: size})
+			if err != nil {
+				return nil, err
+			}
+			e.SampleBudget = cfg.SampleBudget
+			stage, err := e.ConstructTours(core.TourDataParallel)
+			if err != nil {
+				return nil, fmt.Errorf("block %d on %s: %w", size, in.Name, err)
+			}
+			vals[i] = stage.Millis()
+		}
+		t.AddRow(fmt.Sprintf("block = %d threads", size), vals)
+	}
+	return t, nil
+}
+
+// AblationNN sweeps the nearest-neighbour list length for the NN-list
+// construction (version 5): the paper uses nn = 30 and cites 15–40 as the
+// useful range. Short lists mean cheaper steps but more fall-back scans.
+func AblationNN(dev *cuda.Device, cfg Config, nns []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Ablation: NN list length (version 5), %s", dev.Name),
+		Unit:      "milliseconds per iteration, simulated",
+		Instances: cfg.Instances,
+	}
+	for _, nn := range nns {
+		vals := make([]float64, len(instances))
+		for i, in := range instances {
+			p := cfg.Params
+			p.NN = nn
+			e, err := core.NewEngine(dev, in, p)
+			if err != nil {
+				return nil, err
+			}
+			e.SampleBudget = cfg.SampleBudget
+			stage, err := e.ConstructTours(core.TourNNShared)
+			if err != nil {
+				return nil, fmt.Errorf("nn %d on %s: %w", nn, in.Name, err)
+			}
+			vals[i] = stage.Millis()
+		}
+		t.AddRow(fmt.Sprintf("nn = %d", nn), vals)
+	}
+	return t, nil
+}

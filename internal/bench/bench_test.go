@@ -1,0 +1,304 @@
+package bench_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"antgpu/internal/bench"
+	"antgpu/internal/cuda"
+)
+
+func smallCfg() bench.Config {
+	return bench.Config{
+		Instances:    []string{"att48", "kroC100"},
+		SampleBudget: 8 << 20,
+	}
+}
+
+func TestTableFormatAlignsColumns(t *testing.T) {
+	tb := &bench.Table{
+		Title:     "demo",
+		Unit:      "ms",
+		Instances: []string{"a", "bbbb"},
+	}
+	tb.AddRow("row one", []float64{1.234, 5678})
+	tb.AddRow("r2", []float64{0.001, math.NaN()})
+	var buf bytes.Buffer
+	tb.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "row one") {
+		t.Errorf("format output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("NaN should render as -")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &bench.Table{Title: "t", Instances: []string{"x", "y"}}
+	tb.AddRow("a,b", []float64{1, 2})
+	tb.AddRow("c", []float64{3, math.NaN()})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "version,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "a;b,1,2" {
+		t.Errorf("row 1 = %q (commas in names must be escaped)", lines[1])
+	}
+	if lines[2] != "c,3," {
+		t.Errorf("row 2 = %q (NaN must be empty)", lines[2])
+	}
+}
+
+func rowOf(t *testing.T, tb *bench.Table, name string) []float64 {
+	t.Helper()
+	for _, r := range tb.Rows {
+		if r.Name == name {
+			return r.Values
+		}
+	}
+	t.Fatalf("table %q has no row %q", tb.Title, name)
+	return nil
+}
+
+func TestTableIIStructureAndShape(t *testing.T) {
+	tb, err := bench.TableII(cuda.TeslaC1060(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 { // 8 versions + total speed-up
+		t.Fatalf("Table II has %d rows, want 9", len(tb.Rows))
+	}
+	base := rowOf(t, tb, "1. Baseline Version")
+	v8 := rowOf(t, tb, "8. Data Parallelism + Texture Memory")
+	speed := rowOf(t, tb, "Total speed-up attained")
+	for i := range base {
+		if base[i] <= v8[i] {
+			t.Errorf("col %d: baseline (%v) must be slower than v8 (%v)", i, base[i], v8[i])
+		}
+		if got := base[i] / v8[i]; math.Abs(got-speed[i]) > got*1e-9 {
+			t.Errorf("col %d: speed-up row %v != v1/v8 %v", i, speed[i], got)
+		}
+	}
+}
+
+func TestTablePheromoneStructureAndShape(t *testing.T) {
+	for _, dev := range []*cuda.Device{cuda.TeslaC1060(), cuda.TeslaM2050()} {
+		tb, err := bench.TablePheromone(dev, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) != 6 { // 5 versions + slow-down
+			t.Fatalf("%s: %d rows, want 6", dev.Name, len(tb.Rows))
+		}
+		atomic := rowOf(t, tb, "1. Atomic Ins. + Shared Memory")
+		scatter := rowOf(t, tb, "5. Scatter to Gather")
+		for i := range atomic {
+			if scatter[i] <= atomic[i] {
+				t.Errorf("%s col %d: scatter (%v) must exceed atomic (%v)",
+					dev.Name, i, scatter[i], atomic[i])
+			}
+		}
+	}
+}
+
+func TestFiguresHaveOneRowPerDevice(t *testing.T) {
+	devices := []*cuda.Device{cuda.TeslaC1060(), cuda.TeslaM2050()}
+	for name, run := range map[string]func([]*cuda.Device, bench.Config) (*bench.Table, error){
+		"4a": bench.Figure4a, "4b": bench.Figure4b, "5": bench.Figure5,
+	} {
+		tb, err := run(devices, smallCfg())
+		if err != nil {
+			t.Fatalf("figure %s: %v", name, err)
+		}
+		if len(tb.Rows) != 3 { // CPU ms + 2 speed-up rows
+			t.Fatalf("figure %s: %d rows, want 3", name, len(tb.Rows))
+		}
+		cpu := rowOf(t, tb, "Sequential CPU (ms)")
+		for _, v := range cpu {
+			if v <= 0 {
+				t.Errorf("figure %s: non-positive CPU time", name)
+			}
+		}
+		for _, dev := range devices {
+			su := rowOf(t, tb, "Speed-up "+dev.Name)
+			for i, v := range su {
+				if v <= 0 || math.IsNaN(v) {
+					t.Errorf("figure %s %s col %d: bad speed-up %v", name, dev.Name, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure4bSpeedupExceeds4a(t *testing.T) {
+	// The data-parallel kernel's speed-up over the fully probabilistic CPU
+	// code (Fig 4b, up to ~22-29x in the paper) dwarfs the NN-list one
+	// (Fig 4a, up to ~3x).
+	devices := []*cuda.Device{cuda.TeslaM2050()}
+	cfg := smallCfg()
+	a, err := bench.Figure4a(devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Figure4b(devices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := rowOf(t, a, "Speed-up Tesla M2050")
+	sb := rowOf(t, b, "Speed-up Tesla M2050")
+	last := len(sa) - 1
+	if sb[last] <= sa[last] {
+		t.Errorf("fig 4b speed-up (%v) should exceed fig 4a (%v)", sb[last], sa[last])
+	}
+}
+
+func TestConfigMaxNFiltersInstances(t *testing.T) {
+	cfg := bench.Config{MaxN: 300, SampleBudget: 8 << 20}
+	tb, err := bench.TableII(cuda.TeslaC1060(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"att48", "kroC100", "a280"}
+	if len(tb.Instances) != len(want) {
+		t.Fatalf("instances = %v, want %v", tb.Instances, want)
+	}
+	for i := range want {
+		if tb.Instances[i] != want[i] {
+			t.Fatalf("instances = %v, want %v", tb.Instances, want)
+		}
+	}
+}
+
+func TestPaperDataRowsComplete(t *testing.T) {
+	for name, vals := range bench.PaperTableII {
+		if len(vals) != len(bench.PaperInstances) {
+			t.Errorf("PaperTableII[%q] has %d values, want %d", name, len(vals), len(bench.PaperInstances))
+		}
+	}
+	for name, vals := range bench.PaperTableIII {
+		if len(vals) != len(bench.PaperPherInstances) {
+			t.Errorf("PaperTableIII[%q] has %d values, want %d", name, len(vals), len(bench.PaperPherInstances))
+		}
+	}
+	for name, vals := range bench.PaperTableIV {
+		if len(vals) != len(bench.PaperPherInstances) {
+			t.Errorf("PaperTableIV[%q] has %d values, want %d", name, len(vals), len(bench.PaperPherInstances))
+		}
+	}
+}
+
+func TestAblationThetaAmortisesTraffic(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"a280"}, SampleBudget: 8 << 20}
+	tb, err := bench.AblationTheta(cuda.TeslaC1060(), cfg, []int{32, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := rowOf(t, tb, "theta = 32")[0]
+	big := rowOf(t, tb, "theta = 256")[0]
+	if big >= small {
+		t.Errorf("theta=256 (%v ms) should beat theta=32 (%v ms) at a280", big, small)
+	}
+}
+
+func TestAblationDataBlockMarksInfeasible(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"pcb442"}, SampleBudget: 8 << 20}
+	tb, err := bench.AblationDataBlock(cuda.TeslaC1060(), cfg, []int{32, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 threads x 32 tabu bits = 1024 cities max... pcb442 fits; but a
+	// size covering fewer than n cities must be NaN. Use a synthetic check:
+	v32 := rowOf(t, tb, "block = 32 threads")[0]
+	if v32 != v32 && 32*32 >= 442 {
+		t.Errorf("block=32 should be feasible for pcb442, got NaN")
+	}
+	v128 := rowOf(t, tb, "block = 128 threads")[0]
+	if !(v128 > 0) {
+		t.Errorf("block=128 time = %v", v128)
+	}
+}
+
+func TestAblationNNCostGrowsWithListLength(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"kroC100"}, SampleBudget: 8 << 20}
+	tb, err := bench.AblationNN(cuda.TeslaC1060(), cfg, []int{10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := rowOf(t, tb, "nn = 10")[0]
+	long := rowOf(t, tb, "nn = 40")[0]
+	if long <= short {
+		t.Errorf("nn=40 (%v ms) should cost more than nn=10 (%v ms) per iteration", long, short)
+	}
+}
+
+func TestQualityTableComparable(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"att48"}}
+	tb, err := bench.QualityTable(cuda.TeslaM2050(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("quality table rows = %d, want 8", len(tb.Rows))
+	}
+	cpu := rowOf(t, tb, "AS, sequential CPU")[0]
+	gpu := rowOf(t, tb, "AS, GPU data-parallel (v8)")[0]
+	// The paper: GPU solution quality "similar to those obtained by the
+	// sequential code".
+	if gpu > cpu*1.3 || cpu > gpu*1.3 {
+		t.Errorf("CPU (%v) and GPU (%v) quality diverge", cpu, gpu)
+	}
+	ls := rowOf(t, tb, "AS + 2-opt, GPU")[0]
+	if ls >= gpu {
+		t.Errorf("2-opt (%v) should improve on plain AS (%v)", ls, gpu)
+	}
+	for _, r := range tb.Rows {
+		if v := r.Values[0]; !(v > 0.3 && v < 3) {
+			t.Errorf("%s: implausible quality ratio %v", r.Name, v)
+		}
+	}
+}
+
+func TestUnknownInstanceFails(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"nosuch"}}
+	if _, err := bench.TableII(cuda.TeslaC1060(), cfg); err == nil {
+		t.Error("unknown instance accepted")
+	}
+}
+
+func TestConvergenceSeriesShape(t *testing.T) {
+	tb, err := bench.ConvergenceSeries(cuda.TeslaM2050(), "att48", []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if len(r.Values) != 3 {
+			t.Fatalf("%s: %d checkpoints, want 3", r.Name, len(r.Values))
+		}
+		// Best-so-far is monotone non-increasing.
+		for i := 1; i < len(r.Values); i++ {
+			if r.Values[i] > r.Values[i-1]+1e-12 {
+				t.Errorf("%s: best-so-far increased at checkpoint %d (%v -> %v)",
+					r.Name, i, r.Values[i-1], r.Values[i])
+			}
+		}
+	}
+}
+
+func TestConvergenceSeriesUnknownInstance(t *testing.T) {
+	if _, err := bench.ConvergenceSeries(cuda.TeslaM2050(), "nosuch", nil); err == nil {
+		t.Error("unknown instance accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package bench_test
+
+import (
+	"sort"
+	"testing"
+
+	"antgpu/internal/bench"
+	"antgpu/internal/cuda"
+)
+
+// Regression locks against the paper's published numbers: for the smaller
+// instances (cheap enough for CI), every Table II cell must stay within a
+// fixed ratio band of the paper's value, and the per-column ranking of the
+// eight versions must largely agree. This is the contract EXPERIMENTS.md
+// reports; if a model change breaks the reproduction, these tests say so.
+
+var tableIIVersionRows = []string{
+	"1. Baseline Version",
+	"2. Choice Kernel",
+	"3. Without CURAND",
+	"4. NNList",
+	"5. NNList + Shared Memory",
+	"6. NNList + Shared&Texture Memory",
+	"7. Increasing Data Parallelism",
+	"8. Data Parallelism + Texture Memory",
+}
+
+func TestTableIITracksPaperWithinBand(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"att48", "kroC100", "a280"}, SampleBudget: 16 << 20}
+	tb, err := bench.TableII(cuda.TeslaC1060(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const band = 4.0
+	for _, name := range tableIIVersionRows {
+		got := rowOf(t, tb, name)
+		want := bench.PaperTableII[name]
+		for col := range got {
+			ratio := got[col] / want[col]
+			if ratio > band || ratio < 1/band {
+				t.Errorf("%s @ %s: measured %.3f ms vs paper %.3f ms (ratio %.2fx outside %vx band)",
+					name, tb.Instances[col], got[col], want[col], ratio, band)
+			}
+		}
+	}
+}
+
+func TestTableIIRankOrderAgreesWithPaper(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"att48", "kroC100", "a280"}, SampleBudget: 16 << 20}
+	tb, err := bench.TableII(cuda.TeslaC1060(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := func(vals []float64) []int {
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+		r := make([]int, len(vals))
+		for pos, i := range idx {
+			r[i] = pos
+		}
+		return r
+	}
+	for col, inst := range tb.Instances {
+		var got, want []float64
+		for _, name := range tableIIVersionRows {
+			got = append(got, rowOf(t, tb, name)[col])
+			want = append(want, bench.PaperTableII[name][col])
+		}
+		rg, rw := rank(got), rank(want)
+		// Spearman footrule distance: total rank displacement.
+		displaced := 0
+		for i := range rg {
+			d := rg[i] - rw[i]
+			if d < 0 {
+				d = -d
+			}
+			displaced += d
+		}
+		// Perfect agreement is 0; a random permutation of 8 averages ~21.
+		if displaced > 6 {
+			t.Errorf("%s: version ranking diverges from the paper (footrule %d, measured ranks %v vs paper %v)",
+				inst, displaced, rg, rw)
+		}
+	}
+}
+
+func TestTablePheromoneTracksPaperWithinBand(t *testing.T) {
+	cfg := bench.Config{Instances: []string{"att48", "kroC100", "a280"}, SampleBudget: 16 << 20}
+	rows := []string{
+		"1. Atomic Ins. + Shared Memory",
+		"2. Atomic Ins.",
+		"3. Instruction & Thread Reduction",
+		"4. Scatter to Gather + Tilling",
+		"5. Scatter to Gather",
+	}
+	for _, tc := range []struct {
+		dev   *cuda.Device
+		paper map[string][]float64
+		band  float64
+	}{
+		{cuda.TeslaC1060(), bench.PaperTableIII, 5},
+		// The published Table IV's smallest instances show inverted version
+		// ordering (v5 < v4 < v3 at att48) — fixed overheads on the real
+		// M2050 that the model does not carry — so its band is wider.
+		{cuda.TeslaM2050(), bench.PaperTableIV, 8},
+	} {
+		tb, err := bench.TablePheromone(tc.dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		band := tc.band
+		for _, name := range rows {
+			got := rowOf(t, tb, name)
+			want := tc.paper[name]
+			for col := range got {
+				ratio := got[col] / want[col]
+				if ratio > band || ratio < 1/band {
+					t.Errorf("%s %s @ %s: measured %.3f vs paper %.3f (ratio %.2fx outside %vx band)",
+						tc.dev.Name, name, tb.Instances[col], got[col], want[col], ratio, band)
+				}
+			}
+		}
+	}
+}

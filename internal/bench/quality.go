@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// QualityTable checks the paper's side remark that the GPU implementations'
+// solution quality is "similar to those obtained by the sequential code":
+// it runs the CPU Ant System, the GPU Ant System (data-parallel and NN-list
+// construction), and the ACS/MMAS extensions for the same iteration budget
+// and reports each best tour as a ratio to the greedy nearest-neighbour
+// tour (lower is better; < 1 beats greedy).
+func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if iterations <= 0 {
+		iterations = 30
+	}
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Solution quality after %d iterations, %s", iterations, dev.Name),
+		Unit:      "best tour / greedy NN tour (lower is better)",
+		Instances: cfg.Instances,
+	}
+
+	type runner func(in *tsp.Instance) (int64, error)
+	configs := []struct {
+		name string
+		run  runner
+	}{
+		{"AS, sequential CPU", func(in *tsp.Instance) (int64, error) {
+			c, err := aco.New(in, cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			_, l := c.Run(aco.NNListConstruction, iterations)
+			return l, nil
+		}},
+		{"AS, GPU data-parallel (v8)", func(in *tsp.Instance) (int64, error) {
+			e, err := core.NewEngine(dev, in, cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			_, l, _, err := e.Run(core.TourDataParallelTexture, core.PherAtomicShared, iterations)
+			return l, err
+		}},
+		{"AS, GPU NN-list (v6)", func(in *tsp.Instance) (int64, error) {
+			e, err := core.NewEngine(dev, in, cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			_, l, _, err := e.Run(core.TourNNSharedTexture, core.PherAtomicShared, iterations)
+			return l, err
+		}},
+		{"AS + 2-opt, GPU", func(in *tsp.Instance) (int64, error) {
+			e, err := core.NewEngine(dev, in, cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			for i := 0; i < iterations; i++ {
+				if _, err := e.IterateWithLocalSearch(core.TourNNList, core.PherAtomicShared); err != nil {
+					return 0, err
+				}
+			}
+			_, l := e.Best()
+			return l, nil
+		}},
+		{"EAS, GPU", func(in *tsp.Instance) (int64, error) {
+			e, err := core.NewEASEngine(dev, in, cfg.Params, 0)
+			if err != nil {
+				return 0, err
+			}
+			_, l, _, err := e.Run(iterations)
+			return l, err
+		}},
+		{"ASrank, GPU", func(in *tsp.Instance) (int64, error) {
+			r, err := core.NewRankEngine(dev, in, cfg.Params, 0)
+			if err != nil {
+				return 0, err
+			}
+			_, l, _, err := r.Run(iterations)
+			return l, err
+		}},
+		{"ACS, GPU", func(in *tsp.Instance) (int64, error) {
+			p := aco.DefaultACSParams()
+			p.Seed = cfg.Params.Seed
+			a, err := core.NewACSEngine(dev, in, p)
+			if err != nil {
+				return 0, err
+			}
+			_, l, _, err := a.Run(iterations)
+			return l, err
+		}},
+		{"MMAS, GPU", func(in *tsp.Instance) (int64, error) {
+			p := aco.DefaultMMASParams()
+			p.Seed = cfg.Params.Seed
+			m, err := core.NewMMASEngine(dev, in, p)
+			if err != nil {
+				return 0, err
+			}
+			_, l, _, err := m.Run(iterations)
+			return l, err
+		}},
+	}
+
+	greedy := make([]float64, len(instances))
+	for i, in := range instances {
+		greedy[i] = float64(in.TourLength(in.NearestNeighbourTour(0)))
+	}
+
+	for _, c := range configs {
+		vals := make([]float64, len(instances))
+		for i, in := range instances {
+			l, err := c.run(in)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", c.name, in.Name, err)
+			}
+			vals[i] = float64(l) / greedy[i]
+		}
+		t.AddRow(c.name, vals)
+	}
+	return t, nil
+}

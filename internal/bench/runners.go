@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"fmt"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// Config controls the experiment runners.
+type Config struct {
+	// Instances to sweep, in column order. Nil selects the paper's full
+	// benchmark set.
+	Instances []string
+	// MaxN drops instances larger than this (0 = keep all).
+	MaxN int
+	// SampleBudget is the per-launch lane-operation budget passed to the
+	// GPU engines; large kernels are block-sampled above it. Zero picks a
+	// default suitable for the full sweep on a laptop.
+	SampleBudget int64
+	// CPUSampleAnts bounds the number of ants the CPU baseline constructs
+	// per measurement (the meters are scaled to m ants). Zero picks a
+	// default.
+	CPUSampleAnts int
+	// CPU is the sequential machine model; zero value selects DefaultCPU.
+	CPU aco.CPUModel
+	// Params are the AS parameters; zero value selects DefaultParams.
+	Params aco.Params
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instances == nil {
+		c.Instances = tsp.PaperBenchmarks
+	}
+	if c.SampleBudget == 0 {
+		c.SampleBudget = 40 << 20 // ~4e7 lane ops per launch
+	}
+	if c.CPUSampleAnts == 0 {
+		c.CPUSampleAnts = 24
+	}
+	if c.CPU.OpsPerSec == 0 {
+		c.CPU = aco.DefaultCPU()
+	}
+	if c.Params.Rho == 0 {
+		c.Params = aco.DefaultParams()
+	}
+	if c.MaxN > 0 {
+		kept := make([]string, 0, len(c.Instances))
+		for _, name := range c.Instances {
+			in, err := tsp.LoadBenchmark(name)
+			if err != nil || in.N() <= c.MaxN {
+				kept = append(kept, name)
+			}
+		}
+		c.Instances = kept
+	}
+	return c
+}
+
+// loadAll resolves the instance list.
+func loadAll(names []string) ([]*tsp.Instance, error) {
+	out := make([]*tsp.Instance, len(names))
+	for i, n := range names {
+		in, err := tsp.LoadBenchmark(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// TableII reproduces the paper's Table II: execution times of the eight
+// tour-construction versions on one device, plus the total-speed-up row
+// (version 1 over version 8).
+func TableII(dev *cuda.Device, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Table II: tour construction times, %s", dev.Name),
+		Unit:      "milliseconds per iteration, simulated",
+		Instances: cfg.Instances,
+	}
+	times := make(map[core.TourVersion][]float64)
+	for _, v := range core.TourVersions {
+		vals := make([]float64, len(instances))
+		for i, in := range instances {
+			e, err := core.NewEngine(dev, in, cfg.Params)
+			if err != nil {
+				return nil, err
+			}
+			e.SampleBudget = cfg.SampleBudget
+			stage, err := e.ConstructTours(v)
+			if err != nil {
+				return nil, fmt.Errorf("%v on %s: %w", v, in.Name, err)
+			}
+			vals[i] = stage.Millis()
+		}
+		times[v] = vals
+		t.AddRow(v.String(), vals)
+	}
+	speedup := make([]float64, len(instances))
+	for i := range instances {
+		speedup[i] = times[core.TourBaseline][i] / times[core.TourDataParallelTexture][i]
+	}
+	t.AddRow("Total speed-up attained", speedup)
+	return t, nil
+}
+
+// TablePheromone reproduces Table III (Tesla C1060) or Table IV (Tesla
+// M2050), depending on the device: execution times of the five pheromone-
+// update versions plus the total-slow-down row (version 5 over version 1).
+func TablePheromone(dev *cuda.Device, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Tables III/IV: pheromone update times, %s", dev.Name),
+		Unit:      "milliseconds per iteration, simulated",
+		Instances: cfg.Instances,
+	}
+	times := make(map[core.PherVersion][]float64)
+	for _, v := range core.PherVersions {
+		times[v] = make([]float64, len(instances))
+	}
+	for i, in := range instances {
+		// One set of tours per instance: every version updates from the
+		// same construction, like the paper's per-iteration measurements.
+		e, err := core.NewEngine(dev, in, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		e.SampleBudget = cfg.SampleBudget
+		if _, err := e.ConstructTours(core.TourNNList); err != nil {
+			return nil, err
+		}
+		snapshot := make([]float64, len(e.Pheromone()))
+		for j, v := range e.Pheromone() {
+			snapshot[j] = float64(v)
+		}
+		for _, v := range core.PherVersions {
+			if err := e.SetPheromone(snapshot); err != nil {
+				return nil, err
+			}
+			stage, err := e.UpdatePheromone(v)
+			if err != nil {
+				return nil, fmt.Errorf("%v on %s: %w", v, in.Name, err)
+			}
+			times[v][i] = stage.Millis()
+		}
+	}
+	for _, v := range core.PherVersions {
+		t.AddRow(v.String(), times[v])
+	}
+	slow := make([]float64, len(instances))
+	for i := range instances {
+		slow[i] = times[core.PherScatterGather][i] / times[core.PherAtomicShared][i]
+	}
+	t.AddRow("Total slow-down incurred", slow)
+	return t, nil
+}
+
+// cpuConstructMillis measures the sequential construction stage on the
+// modelled CPU: a sample of ants is constructed functionally and the meters
+// are scaled to m ants.
+func cpuConstructMillis(in *tsp.Instance, v aco.Variant, cfg Config) (float64, error) {
+	c, err := aco.New(in, cfg.Params)
+	if err != nil {
+		return 0, err
+	}
+	k := cfg.CPUSampleAnts
+	if k > c.Ants() {
+		k = c.Ants()
+	}
+	c.ResetMeters()
+	c.ConstructAnts(v, k)
+	m := c.ConstructMeter
+	m.Scale(float64(c.Ants()) / float64(k))
+	return cfg.CPU.Millis(&m), nil
+}
+
+// cpuPheromoneMillis measures the sequential pheromone stage (evaporation,
+// deposit, and — as in ACOTSP — the choice-information recomputation).
+func cpuPheromoneMillis(in *tsp.Instance, cfg Config) (float64, error) {
+	c, err := aco.New(in, cfg.Params)
+	if err != nil {
+		return 0, err
+	}
+	c.ConstructTours(aco.NNListConstruction)
+	c.ResetMeters()
+	c.Evaporate()
+	k := cfg.CPUSampleAnts
+	if k > c.Ants() {
+		k = c.Ants()
+	}
+	evap := c.PheromoneMeter
+	c.PheromoneMeter = aco.Meter{}
+	c.DepositAnts(k)
+	dep := c.PheromoneMeter
+	dep.Scale(float64(c.Ants()) / float64(k))
+	c.ChoiceMeter = aco.Meter{}
+	c.ComputeChoiceInfo()
+	total := evap
+	total.Add(&dep)
+	total.Add(&c.ChoiceMeter)
+	return cfg.CPU.Millis(&total), nil
+}
+
+// gpuConstructMillis measures one GPU tour-construction stage.
+func gpuConstructMillis(dev *cuda.Device, in *tsp.Instance, v core.TourVersion, cfg Config) (float64, error) {
+	e, err := core.NewEngine(dev, in, cfg.Params)
+	if err != nil {
+		return 0, err
+	}
+	e.SampleBudget = cfg.SampleBudget
+	stage, err := e.ConstructTours(v)
+	if err != nil {
+		return 0, err
+	}
+	return stage.Millis(), nil
+}
+
+// Figure4a reproduces Figure 4(a): the CPU/GPU speed-up of the
+// nearest-neighbour tour construction (NN = 30, GPU version 6) on both
+// devices. Rows: one per device, columns: instances.
+func Figure4a(devices []*cuda.Device, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	return figureSpeedup(devices, cfg,
+		"Figure 4(a): tour construction speed-up, NN list (NN=30)",
+		func(in *tsp.Instance) (float64, error) {
+			return cpuConstructMillis(in, aco.NNListConstruction, cfg)
+		},
+		func(dev *cuda.Device, in *tsp.Instance) (float64, error) {
+			return gpuConstructMillis(dev, in, core.TourNNSharedTexture, cfg)
+		})
+}
+
+// Figure4b reproduces Figure 4(b): the CPU/GPU speed-up of the fully
+// probabilistic construction (GPU version 8, the paper's data-parallel
+// proposal) on both devices.
+func Figure4b(devices []*cuda.Device, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	return figureSpeedup(devices, cfg,
+		"Figure 4(b): tour construction speed-up, fully probabilistic",
+		func(in *tsp.Instance) (float64, error) {
+			return cpuConstructMillis(in, aco.FullProbabilistic, cfg)
+		},
+		func(dev *cuda.Device, in *tsp.Instance) (float64, error) {
+			return gpuConstructMillis(dev, in, core.TourDataParallelTexture, cfg)
+		})
+}
+
+// Figure5 reproduces Figure 5: the CPU/GPU speed-up of the best pheromone
+// update kernel (version 1, atomics + shared memory) on both devices.
+func Figure5(devices []*cuda.Device, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	return figureSpeedup(devices, cfg,
+		"Figure 5: pheromone update speed-up (atomic + shared memory)",
+		func(in *tsp.Instance) (float64, error) {
+			return cpuPheromoneMillis(in, cfg)
+		},
+		func(dev *cuda.Device, in *tsp.Instance) (float64, error) {
+			e, err := core.NewEngine(dev, in, cfg.Params)
+			if err != nil {
+				return 0, err
+			}
+			e.SampleBudget = cfg.SampleBudget
+			if _, err := e.ConstructTours(core.TourNNList); err != nil {
+				return 0, err
+			}
+			stage, err := e.UpdatePheromone(PherBest)
+			if err != nil {
+				return 0, err
+			}
+			// The CPU stage includes the choice recomputation (ACOTSP's
+			// compute_total_information); on the GPU that work is the
+			// choice kernel, launched once per iteration too.
+			ck, err := e.ChoiceKernel()
+			if err != nil {
+				return 0, err
+			}
+			return stage.Millis() + ck.Millis(), nil
+		})
+}
+
+// PherBest is the pheromone version every figure and downstream user should
+// default to: the paper's conclusion is that atomics + shared memory win.
+const PherBest = core.PherAtomicShared
+
+// figureSpeedup builds a speed-up table: sequential time divided by GPU
+// stage time, one row per device.
+func figureSpeedup(devices []*cuda.Device, cfg Config, title string,
+	cpu func(*tsp.Instance) (float64, error),
+	gpu func(*cuda.Device, *tsp.Instance) (float64, error)) (*Table, error) {
+
+	cfg = cfg.withDefaults()
+	instances, err := loadAll(cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     title,
+		Unit:      "speed-up factor vs sequential CPU (>1 = GPU faster)",
+		Instances: cfg.Instances,
+	}
+	cpuMs := make([]float64, len(instances))
+	for i, in := range instances {
+		if cpuMs[i], err = cpu(in); err != nil {
+			return nil, err
+		}
+	}
+	t.AddRow("Sequential CPU (ms)", cpuMs)
+	for _, dev := range devices {
+		vals := make([]float64, len(instances))
+		for i, in := range instances {
+			g, err := gpu(dev, in)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", dev.Name, in.Name, err)
+			}
+			vals[i] = cpuMs[i] / g
+		}
+		t.AddRow("Speed-up "+dev.Name, vals)
+	}
+	return t, nil
+}

@@ -1,0 +1,118 @@
+// Package bench is the experiment harness of the reproduction: one runner
+// per table and figure of the paper's evaluation (§V), producing the same
+// rows and series the paper reports, next to the paper's published numbers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a rows-by-instances result table, mirroring the layout of the
+// paper's Tables II–IV (one row per code version, one column per TSPLIB
+// instance).
+type Table struct {
+	Title     string
+	Unit      string
+	Instances []string
+	Rows      []Row
+}
+
+// Row is one line of a Table.
+type Row struct {
+	Name   string
+	Values []float64 // one per Table.Instances entry; NaN = not measured
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, values []float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// Format writes the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(w, "(%s)\n", t.Unit)
+	}
+	nameW := len("Code version")
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	colW := make([]int, len(t.Instances))
+	cell := func(v float64) string {
+		switch {
+		case v != v: // NaN
+			return "-"
+		case v >= 1000:
+			return fmt.Sprintf("%.1f", v)
+		case v >= 10:
+			return fmt.Sprintf("%.2f", v)
+		default:
+			return fmt.Sprintf("%.3f", v)
+		}
+	}
+	for i, name := range t.Instances {
+		colW[i] = len(name)
+		for _, r := range t.Rows {
+			if i < len(r.Values) {
+				if l := len(cell(r.Values[i])); l > colW[i] {
+					colW[i] = l
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-*s", nameW, "Code version")
+	for i, name := range t.Instances {
+		fmt.Fprintf(w, "  %*s", colW[i], name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", nameW+sum(colW)+2*len(colW)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", nameW, r.Name)
+		for i := range t.Instances {
+			v := nan()
+			if i < len(r.Values) {
+				v = r.Values[i]
+			}
+			fmt.Fprintf(w, "  %*s", colW[i], cell(v))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "version,%s\n", strings.Join(t.Instances, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(t.Instances)+1)
+		cells = append(cells, strings.ReplaceAll(r.Name, ",", ";"))
+		for i := range t.Instances {
+			if i < len(r.Values) && r.Values[i] == r.Values[i] {
+				cells = append(cells, fmt.Sprintf("%g", r.Values[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,171 @@
+package core_test
+
+import (
+	"testing"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// Analytic cross-checks: the executed meters of the element-wise kernels
+// must match their closed-form operation counts exactly. This pins the
+// sampling extrapolation (which relies on the meters being exact) and
+// guards the kernels against silently changing their access patterns.
+
+func TestEvaporateKernelClosedForm(t *testing.T) {
+	in := tsp.MustLoadBenchmark("att48")
+	e, err := core.NewEngine(cuda.TeslaC1060(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.EvaporateKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(in.N())
+	cells := n * n
+	m := res.Meter
+	if m.GlobalLoadOps != cells || m.GlobalStoreOps != cells {
+		t.Errorf("evaporate ops = %d/%d, want %d/%d", m.GlobalLoadOps, m.GlobalStoreOps, cells, cells)
+	}
+	// Contiguous float32 accesses: one 32-byte transaction per 8 cells.
+	// 2304 cells = 288 segments exactly.
+	if m.GlobalLoadTx != cells/8 || m.GlobalStoreTx != cells/8 {
+		t.Errorf("evaporate tx = %d/%d, want %d", m.GlobalLoadTx, m.GlobalStoreTx, cells/8)
+	}
+	if m.AtomicOps != 0 || m.SharedOps != 0 || m.TexFetches != 0 {
+		t.Error("evaporate must not touch atomics/shared/texture")
+	}
+}
+
+func TestChoiceKernelClosedForm(t *testing.T) {
+	in := tsp.MustLoadBenchmark("att48")
+	e, err := core.NewEngine(cuda.TeslaM2050(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ChoiceKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(in.N())
+	m := res.Meter
+	// Off-diagonal cells load pheromone + distance; every cell stores.
+	wantLoads := 2 * (n*n - n)
+	if m.GlobalLoadOps != wantLoads {
+		t.Errorf("choice loads = %d, want %d", m.GlobalLoadOps, wantLoads)
+	}
+	if m.GlobalStoreOps != n*n {
+		t.Errorf("choice stores = %d, want %d", m.GlobalStoreOps, n*n)
+	}
+}
+
+func TestDepositAtomicClosedForm(t *testing.T) {
+	in := tsp.MustLoadBenchmark("att48")
+	e, err := core.NewEngine(cuda.TeslaM2050(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ConstructTours(core.TourNNList); err != nil {
+		t.Fatal(err)
+	}
+	stage, err := e.UpdatePheromone(core.PherAtomic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep *cuda.LaunchResult
+	for _, k := range stage.Kernels {
+		if k.Name == "deposit-atomic" {
+			dep = k
+		}
+	}
+	if dep == nil {
+		t.Fatal("deposit kernel not launched")
+	}
+	n := int64(in.N())
+	mm := int64(e.Ants())
+	m := dep.Meter
+	// Each of the n edges per ant: two symmetric atomic adds.
+	if want := 2 * n * mm; m.AtomicOps != want {
+		t.Errorf("deposit atomics = %d, want %d", m.AtomicOps, want)
+	}
+	// Each edge thread: two tour loads plus the length broadcast.
+	if want := 3 * n * mm; m.GlobalLoadOps != want {
+		t.Errorf("deposit loads = %d, want %d", m.GlobalLoadOps, want)
+	}
+	if m.SharedOps != 0 {
+		t.Error("unstaged deposit must not use shared memory")
+	}
+}
+
+func TestDepositAtomicSharedClosedForm(t *testing.T) {
+	in := tsp.MustLoadBenchmark("att48")
+	e, err := core.NewEngine(cuda.TeslaM2050(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ConstructTours(core.TourNNList); err != nil {
+		t.Fatal(err)
+	}
+	stage, err := e.UpdatePheromone(core.PherAtomicShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep *cuda.LaunchResult
+	for _, k := range stage.Kernels {
+		if k.Name == "deposit-atomic-shared" {
+			dep = k
+		}
+	}
+	if dep == nil {
+		t.Fatal("staged deposit kernel not launched")
+	}
+	n := int64(in.N())
+	mm := int64(e.Ants())
+	theta := int64(core.PherTileTheta)
+	chunks := (n + theta - 1) / theta
+	m := dep.Meter
+	// Stage: every thread loads one tour entry (+1 boundary per block);
+	// edge phase: length broadcast only — tour entries come from shared.
+	wantLoads := mm*chunks*(theta+1) + n*mm
+	if m.GlobalLoadOps != wantLoads {
+		t.Errorf("staged deposit loads = %d, want %d", m.GlobalLoadOps, wantLoads)
+	}
+	// Shared: theta+1 stores per block, 2 loads per edge.
+	wantShared := mm*chunks*(theta+1) + 2*n*mm
+	if m.SharedOps != wantShared {
+		t.Errorf("staged deposit shared ops = %d, want %d", m.SharedOps, wantShared)
+	}
+}
+
+func TestScatterGatherClosedFormLoads(t *testing.T) {
+	// The paper's count: the untiled scatter-to-gather performs 2·n² tour
+	// loads per thread. Verify per-thread loads on att48 (no sampling).
+	in := tsp.MustLoadBenchmark("att48")
+	e, err := core.NewEngine(cuda.TeslaC1060(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ConstructTours(core.TourNNList); err != nil {
+		t.Fatal(err)
+	}
+	stage, err := e.UpdatePheromone(core.PherScatterGather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stage.Kernels[0].Meter
+	n := int64(in.N())
+	mm := int64(e.Ants())
+	// Per active cell thread: per ant, one length broadcast plus 2 loads
+	// per tour position; plus the initial pheromone load and final store.
+	cells := n * n
+	wantLoads := cells*mm*(2*n+1) + cells
+	if m.GlobalLoadOps != wantLoads {
+		t.Errorf("scatter loads = %d, want %d (Θ(n⁴) per the paper)", m.GlobalLoadOps, wantLoads)
+	}
+	if m.GlobalStoreOps != cells {
+		t.Errorf("scatter stores = %d, want %d", m.GlobalStoreOps, cells)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// White-box tests for unexported mechanics: the upper-triangle cell mapping
+// of the reduction kernel and the tabu-layout planner.
+
+func TestUpperTriangleEnumeratesAllCells(t *testing.T) {
+	for _, n := range []int{3, 7, 48, 100} {
+		seen := map[[2]int]bool{}
+		total := n * (n + 1) / 2
+		for k := 0; k < total; k++ {
+			i, j := upperTriangle(k, n)
+			if i < 0 || j < i || j >= n {
+				t.Fatalf("n=%d k=%d: invalid cell (%d,%d)", n, k, i, j)
+			}
+			key := [2]int{i, j}
+			if seen[key] {
+				t.Fatalf("n=%d k=%d: cell (%d,%d) repeated", n, k, i, j)
+			}
+			seen[key] = true
+		}
+		if len(seen) != total {
+			t.Fatalf("n=%d: %d distinct cells, want %d", n, len(seen), total)
+		}
+	}
+}
+
+func TestUpperTriangleProperty(t *testing.T) {
+	f := func(rawN uint8, rawK uint16) bool {
+		n := int(rawN)%200 + 3
+		total := n * (n + 1) / 2
+		k := int(rawK) % total
+		i, j := upperTriangle(k, n)
+		if i < 0 || j < i || j >= n {
+			return false
+		}
+		// Invert: row i starts at i*n - i*(i-1)/2.
+		rowStart := i*n - i*(i-1)/2
+		return rowStart+(j-i) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestEngine(t *testing.T, dev *cuda.Device, bench string) *Engine {
+	t.Helper()
+	in := tsp.MustLoadBenchmark(bench)
+	e, err := NewEngine(dev, in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTaskBlockPlanSelection(t *testing.T) {
+	c1060 := cuda.TeslaC1060()
+	m2050 := cuda.TeslaM2050()
+
+	cases := []struct {
+		dev     *cuda.Device
+		bench   string
+		version TourVersion
+		layout  tabuLayout
+		threads int
+	}{
+		// Non-shared versions always use global tabu at full block size.
+		{c1060, "att48", TourNNList, tabuGlobal, 128},
+		{c1060, "pr2392", TourBaseline, tabuGlobal, 128},
+		// Small instances fit the byte layout at 128 threads (128*n bytes).
+		{c1060, "att48", TourNNShared, tabuShByte, 128},
+		{c1060, "kroC100", TourNNShared, tabuShByte, 128},
+		// a280: 128*280 = 35 KB > 16 KB -> bitwise at 128 threads (4.4 KB).
+		{c1060, "a280", TourNNShared, tabuShBits, 128},
+		// pr2392: bitwise needs 75 words/ant; only 32-thread blocks fit
+		// 16 KB — the occupancy collapse the paper describes.
+		{c1060, "pr2392", TourNNShared, tabuShBits, 32},
+		// The M2050's 48 KB keeps the byte layout viable through a280.
+		{m2050, "a280", TourNNShared, tabuShByte, 128},
+		{m2050, "pr2392", TourNNShared, tabuShBits, 128},
+	}
+	for _, tc := range cases {
+		e := newTestEngine(t, tc.dev, tc.bench)
+		plan := e.taskBlockPlan(tc.version)
+		if plan.layout != tc.layout || plan.threads != tc.threads {
+			t.Errorf("%s %s %v: plan = {%d threads, %v}, want {%d, %v}",
+				tc.dev.Name, tc.bench, tc.version, plan.threads, plan.layout, tc.threads, tc.layout)
+		}
+		if plan.sharedBytes > tc.dev.SharedMemPerBlock() {
+			t.Errorf("%s %s: plan shared %d exceeds device limit", tc.dev.Name, tc.bench, plan.sharedBytes)
+		}
+	}
+}
+
+func TestTabuLayoutStrings(t *testing.T) {
+	if tabuGlobal.String() != "global" || tabuShByte.String() != "shared-byte" ||
+		tabuShBits.String() != "shared-bitwise" {
+		t.Error("tabu layout names changed")
+	}
+	if tabuLayout(99).String() == "" {
+		t.Error("unknown layout must still format")
+	}
+}
+
+func TestDataBlockThreadsHeuristic(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	for _, tc := range []struct {
+		bench string
+		want  int
+	}{
+		{"att48", 64},    // next power of two >= 48
+		{"kroC100", 128}, // >= 100
+		{"a280", 256},    // capped at 256
+		{"pr2392", 256},
+	} {
+		e := newTestEngine(t, dev, tc.bench)
+		if got := e.dataBlockThreads(); got != tc.want {
+			t.Errorf("%s: dataBlockThreads = %d, want %d", tc.bench, got, tc.want)
+		}
+	}
+}
+
+func TestEngineOptionsValidation(t *testing.T) {
+	in := tsp.MustLoadBenchmark("att48")
+	dev := cuda.TeslaC1060()
+	bad := []EngineOptions{
+		{TileTheta: 100},         // not a warp multiple
+		{TileTheta: 1024},        // above C1060 block limit
+		{DataBlockThreads: 48},   // not a power of two
+		{DataBlockThreads: 16},   // below warp size
+		{DataBlockThreads: 2048}, // above block limit
+	}
+	for i, opt := range bad {
+		if _, err := NewEngineWithOptions(dev, in, aco.DefaultParams(), opt); err == nil {
+			t.Errorf("case %d: invalid options %+v accepted", i, opt)
+		}
+	}
+	if _, err := NewEngineWithOptions(dev, in, aco.DefaultParams(),
+		EngineOptions{TileTheta: 128, DataBlockThreads: 64}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestTourPadIsThetaMultiple(t *testing.T) {
+	in := tsp.MustLoadBenchmark("pr1002")
+	for _, theta := range []int{64, 128, 256, 512} {
+		e, err := NewEngineWithOptions(cuda.TeslaC1060(), in, aco.DefaultParams(),
+			EngineOptions{TileTheta: theta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.tourPad%theta != 0 || e.tourPad < in.N()+1 {
+			t.Errorf("theta %d: tourPad %d", theta, e.tourPad)
+		}
+	}
+}

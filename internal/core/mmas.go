@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// GPU Max-Min Ant System: construction reuses any of the paper's tour
+// kernels; the pheromone stage becomes three small element-wise kernels —
+// evaporation, a single-ant deposit over the chosen tour, and the trail
+// clamp to [τmin, τmax]. None of them needs atomics: exactly one ant
+// deposits, so the paper's deposit-contention problem disappears, which is
+// one reason the related work (Jiening et al.) chose MMAS for early GPU
+// ports.
+type MMASEngine struct {
+	*Engine
+	PM aco.MMASParams
+
+	TauMin, TauMax float64
+	iterSinceBest  int
+	iterCount      int
+	tourVersion    TourVersion
+}
+
+// NewMMASEngine creates a GPU MMAS colony with trails at τmax.
+func NewMMASEngine(dev *cuda.Device, in *tsp.Instance, p aco.MMASParams) (*MMASEngine, error) {
+	if err := p.Validate(in.N()); err != nil {
+		return nil, err
+	}
+	e, err := NewEngine(dev, in, p.Params)
+	if err != nil {
+		return nil, err
+	}
+	m := &MMASEngine{
+		Engine:      e,
+		PM:          p,
+		tourVersion: TourNNShared,
+	}
+	cnn := in.TourLength(in.NearestNeighbourTour(0))
+	m.setBounds(cnn)
+	m.pher.Fill(float32(m.TauMax))
+	return m, nil
+}
+
+// SetTourVersion selects the construction kernel (default version 5,
+// NN-list with shared-memory tabu).
+func (m *MMASEngine) SetTourVersion(v TourVersion) { m.tourVersion = v }
+
+func (m *MMASEngine) setBounds(best int64) {
+	m.TauMax = 1 / (m.P.Rho * float64(best))
+	m.TauMin = m.TauMax / (2 * float64(m.n))
+}
+
+// resetTrailsKernel re-initialises every trail to τmax on the device.
+func (m *MMASEngine) resetTrailsKernel() (*cuda.LaunchResult, error) {
+	e := m.Engine
+	cells := e.n * e.n
+	tmax := float32(m.TauMax)
+	grid := (cells + choiceBlock - 1) / choiceBlock
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(grid), Block: cuda.D1(choiceBlock), LatencyOverlap: 4}
+	return e.launch(cfg, "mmas-reset", choiceBlock, func(b *cuda.Block) {
+		b.Run(func(t *cuda.Thread) {
+			gid := t.GlobalID()
+			if gid >= cells {
+				return
+			}
+			t.StF32(e.pher, gid, tmax)
+		})
+	})
+}
+
+// clampKernel bounds every trail to [τmin, τmax], one thread per cell.
+func (m *MMASEngine) clampKernel() (*cuda.LaunchResult, error) {
+	e := m.Engine
+	cells := e.n * e.n
+	lo := float32(m.TauMin)
+	hi := float32(m.TauMax)
+	grid := (cells + choiceBlock - 1) / choiceBlock
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(grid), Block: cuda.D1(choiceBlock), LatencyOverlap: 4}
+	return e.launch(cfg, "mmas-clamp", choiceBlock*2, func(b *cuda.Block) {
+		b.Run(func(t *cuda.Thread) {
+			gid := t.GlobalID()
+			if gid >= cells {
+				return
+			}
+			v := t.LdF32(e.pher, gid)
+			t.Charge(2 * chargeCompare)
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			t.StF32(e.pher, gid, v)
+		})
+	})
+}
+
+// Iterate runs one full GPU MMAS iteration and returns its stages.
+func (m *MMASEngine) Iterate() (*IterationResult, error) {
+	if m.SampleBudget > 0 {
+		return nil, fmt.Errorf("core: MMAS Iterate needs full functional execution; clear SampleBudget")
+	}
+	e := m.Engine
+	m.iterCount++
+	prevBest := m.bestLen
+
+	construct, err := e.ConstructTours(m.tourVersion)
+	if err != nil {
+		return nil, err
+	}
+	ant, iterBestLen, err := e.ReadBest()
+	if err != nil {
+		return nil, err
+	}
+	if m.bestLen < prevBest {
+		m.setBounds(m.bestLen)
+		m.iterSinceBest = 0
+	} else {
+		m.iterSinceBest++
+	}
+
+	// Pick the depositing ant: iteration-best, or best-so-far every k-th.
+	tour := e.Tour(ant)
+	length := iterBestLen
+	if m.iterCount%m.PM.BestEvery == 0 {
+		best, bestLen := e.Best()
+		if best != nil {
+			tour, length = best, bestLen
+		}
+	}
+
+	update := &StageResult{}
+	evap, err := e.EvaporateKernel()
+	if err != nil {
+		return nil, err
+	}
+	update.add(evap)
+	dep, err := e.DepositTourKernel(tour, 1/float64(length), "mmas-deposit")
+	if err != nil {
+		return nil, err
+	}
+	update.add(dep)
+	clamp, err := m.clampKernel()
+	if err != nil {
+		return nil, err
+	}
+	update.add(clamp)
+
+	if m.iterSinceBest >= m.PM.StagnationReset {
+		reset, err := m.resetTrailsKernel()
+		if err != nil {
+			return nil, err
+		}
+		update.add(reset)
+		m.iterSinceBest = 0
+	}
+
+	return &IterationResult{Construct: construct, Update: update, BestAnt: ant, BestLen: iterBestLen}, nil
+}
+
+// Run executes iters full MMAS iterations and returns the best tour, its
+// length, and the accumulated simulated seconds.
+func (m *MMASEngine) Run(iters int) ([]int32, int64, float64, error) {
+	total := 0.0
+	for i := 0; i < iters; i++ {
+		res, err := m.Iterate()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		total += res.Construct.Seconds() + res.Update.Seconds()
+	}
+	tour, l := m.Best()
+	if tour == nil || l == math.MaxInt64 {
+		return nil, 0, 0, fmt.Errorf("core: MMAS produced no tour")
+	}
+	return tour, l, total, nil
+}
+
+// BoundsValid reports whether every device trail lies in [τmin, τmax]
+// within float32 tolerance, for invariant tests.
+func (m *MMASEngine) BoundsValid() bool {
+	lo := float32(m.TauMin) * (1 - 1e-5)
+	hi := float32(m.TauMax) * (1 + 1e-5)
+	for _, v := range m.Pheromone() {
+		if v < lo || v > hi {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"antgpu/internal/cuda"
+)
+
+// EvaporateKernel lowers every pheromone cell by (1-ρ) — paper eq. (2) —
+// with one thread per cell, fully coalesced. Used by the atomic versions
+// (1) and (2); the scatter-to-gather versions fold evaporation into their
+// per-cell kernels.
+func (e *Engine) EvaporateKernel() (*cuda.LaunchResult, error) {
+	cells := e.n * e.n
+	factor := float32(1 - e.P.Rho)
+	grid := (cells + choiceBlock - 1) / choiceBlock
+	cfg := cuda.LaunchConfig{
+		Grid:           cuda.D1(grid),
+		Block:          cuda.D1(choiceBlock),
+		LatencyOverlap: 4,
+	}
+	return e.launch(cfg, "evaporate", choiceBlock*2, func(b *cuda.Block) {
+		b.Run(func(t *cuda.Thread) {
+			gid := t.GlobalID()
+			if gid >= cells {
+				return
+			}
+			v := t.LdF32(e.pher, gid)
+			t.Charge(chargeMulAdd)
+			t.StF32(e.pher, gid, v*factor)
+		})
+	})
+}
+
+// depositAtomic launches the atomic deposit kernel (versions 1 and 2): one
+// thread per city in an ant's tour, each adding Δτ = 1/C^k onto its edge
+// (both symmetric halves) with atomic adds. With staged=true the tour tile
+// is first loaded cooperatively into shared memory (version 1); otherwise
+// every thread loads its two tour entries from global memory (version 2).
+func (e *Engine) depositAtomic(staged bool) (*cuda.LaunchResult, error) {
+	n, m := e.n, e.m
+	threads := e.theta
+	chunks := (n + threads - 1) / threads
+	blocks := m * chunks
+
+	shared := 0
+	if staged {
+		shared = 4 * (threads + 1)
+	}
+	name := "deposit-atomic"
+	if staged {
+		name = "deposit-atomic-shared"
+	}
+	cfg := cuda.LaunchConfig{
+		Grid:        cuda.D1(blocks),
+		Block:       cuda.D1(threads),
+		SharedBytes: shared,
+	}
+	kernel := func(b *cuda.Block) {
+		ant := b.LinearIdx() / chunks
+		chunk := b.LinearIdx() % chunks
+		base := ant*e.tourPad + chunk*threads
+
+		var tile []int32
+		if staged {
+			tile = b.SharedI32(threads + 1)
+			boundary := chunk*threads + threads
+			if boundary > n {
+				boundary = n
+			}
+			b.Run(func(t *cuda.Thread) {
+				// Cooperative, coalesced stage of the tour tile; thread 0
+				// also fetches the boundary entry.
+				t.StShI32(tile, t.ID(), t.LdI32(e.tours, base+t.ID()))
+				if t.ID() == 0 {
+					t.StShI32(tile, threads, t.LdI32(e.tours, ant*e.tourPad+boundary))
+				}
+			})
+			b.Sync()
+		}
+		b.Run(func(t *cuda.Thread) {
+			edge := chunk*threads + t.ID()
+			if edge >= n {
+				return
+			}
+			var a, c int32
+			if staged {
+				a = t.LdShI32(tile, t.ID())
+				c = t.LdShI32(tile, t.ID()+1)
+			} else {
+				a = t.LdI32(e.tours, base+t.ID())
+				c = t.LdI32(e.tours, base+t.ID()+1)
+			}
+			l := t.LdF32(e.lengths, ant)
+			delta := 1 / l
+			t.Charge(chargeDiv + 2*chargeIndex)
+			t.AtomicAddF32(e.pher, int(a)*n+int(c), delta)
+			t.AtomicAddF32(e.pher, int(c)*n+int(a), delta)
+		})
+	}
+	return e.launch(cfg, name, int64(threads*4), kernel)
+}
+
+// scatterPlan describes a scatter-to-gather launch: which cells the grid
+// covers and how tours are read.
+type scatterPlan struct {
+	version   PherVersion
+	cells     int  // grid-covered cells (n² or the upper triangle)
+	tiled     bool // stage tour tiles in shared memory
+	symmetric bool // one thread updates both (i,j) and (j,i)
+}
+
+// pherScatterGather launches versions 3–5: one thread per pheromone matrix
+// cell (half as many for the symmetric reduction version), each evaporating
+// its cell and then scanning every ant's tour for its own edge — the
+// scatter-to-gather transformation of the paper, with its Θ(n⁴) load
+// volume. To keep the functional simulation tractable at large n the scan
+// may sample every antStride-th ant; the engine rescales the meters so the
+// reported launch cost is exact in expectation (see rescaleAnts).
+func (e *Engine) pherScatterGather(v PherVersion) (*cuda.LaunchResult, error) {
+	n, m := e.n, e.m
+	plan := scatterPlan{version: v}
+	switch v {
+	case PherReduction:
+		plan.cells = n * (n + 1) / 2
+		plan.tiled = true
+		plan.symmetric = true
+	case PherScatterGatherTiled:
+		plan.cells = n * n
+		plan.tiled = true
+	case PherScatterGather:
+		plan.cells = n * n
+	default:
+		return nil, fmt.Errorf("core: %v is not a scatter-to-gather version", v)
+	}
+
+	threads := e.theta
+	blocks := (plan.cells + threads - 1) / threads
+	factor := float32(1 - e.P.Rho)
+
+	// Ant-scan sampling keeps the per-block lane work bounded; every ant
+	// contributes an identical access pattern, so the meters scale exactly.
+	antStride := 1
+	if e.SampleBudget > 0 {
+		perBlock := int64(threads) * int64(m) * int64(2*(n+1))
+		budget := e.SampleBudget / 4
+		if budget > 0 && perBlock > budget {
+			antStride = int((perBlock + budget - 1) / budget)
+			if antStride > m {
+				antStride = m
+			}
+		}
+	}
+	scanned := 0
+	for k := 0; k < m; k += antStride {
+		scanned++
+	}
+
+	shared := 0
+	if plan.tiled {
+		shared = 4 * (threads + 1)
+	}
+	cfg := cuda.LaunchConfig{
+		Grid:        cuda.D1(blocks),
+		Block:       cuda.D1(threads),
+		SharedBytes: shared,
+	}
+	perBlockOps := int64(threads) * int64(scanned) * int64(2*(n+1))
+
+	kernel := func(b *cuda.Block) {
+		// Per-thread registers living across phases.
+		ci := make([]int32, threads) // cell row
+		cj := make([]int32, threads) // cell column
+		acc := make([]float32, threads)
+
+		b.Run(func(t *cuda.Thread) {
+			cell := b.LinearIdx()*threads + t.ID()
+			if cell >= plan.cells {
+				ci[t.ID()] = -1
+				return
+			}
+			var i, j int
+			if plan.symmetric {
+				i, j = upperTriangle(cell, n)
+				t.Charge(8) // index de-linearisation (sqrt etc.)
+			} else {
+				i, j = cell/n, cell%n
+				t.Charge(chargeIndex)
+			}
+			ci[t.ID()], cj[t.ID()] = int32(i), int32(j)
+			acc[t.ID()] = 0
+			// Evaporation, folded into the per-cell thread as the paper
+			// describes ("each cell is independently updated by each thread
+			// doing both the pheromone evaporation and the deposit").
+			v := t.LdF32(e.pher, i*n+j)
+			t.Charge(chargeMulAdd)
+			acc[t.ID()] = v * factor
+		})
+
+		var tile []int32
+		if plan.tiled {
+			tile = b.SharedI32(threads + 1)
+		}
+
+		for k := 0; k < m; k += antStride {
+			ant := k
+			// delta is loaded once per ant (a broadcast load).
+			for chunk := 0; chunk*threads < n; chunk++ {
+				chunk := chunk
+				base := ant*e.tourPad + chunk*threads
+				limit := n - chunk*threads
+				if limit > threads {
+					limit = threads
+				}
+				if plan.tiled {
+					boundary := chunk*threads + threads
+					if boundary > n {
+						boundary = n
+					}
+					b.Run(func(t *cuda.Thread) {
+						t.StShI32(tile, t.ID(), t.LdI32(e.tours, base+t.ID()))
+						if t.ID() == 0 {
+							t.StShI32(tile, threads, t.LdI32(e.tours, ant*e.tourPad+boundary))
+						}
+					})
+					b.Sync()
+				}
+				b.Run(func(t *cuda.Thread) {
+					if ci[t.ID()] < 0 {
+						return
+					}
+					i, j := ci[t.ID()], cj[t.ID()]
+					d := t.LdF32(e.lengths, ant)
+					delta := 1 / d
+					t.Charge(chargeDiv)
+					hits := 0
+					for p := 0; p < limit; p++ {
+						var a, c int32
+						if plan.tiled {
+							a = t.LdShI32(tile, p)
+							c = t.LdShI32(tile, p+1)
+						} else {
+							a = t.LdI32(e.tours, base+p)
+							c = t.LdI32(e.tours, base+p+1)
+						}
+						t.Charge(chargeScanEntry)
+						if (a == i && c == j) || (a == j && c == i) {
+							hits++
+						}
+					}
+					acc[t.ID()] += float32(hits) * delta
+					t.Charge(chargeMulAdd)
+				})
+				if plan.tiled {
+					b.Sync()
+				}
+			}
+		}
+
+		b.Run(func(t *cuda.Thread) {
+			if ci[t.ID()] < 0 {
+				return
+			}
+			i, j := int(ci[t.ID()]), int(cj[t.ID()])
+			t.StF32(e.pher, i*n+j, acc[t.ID()])
+			if plan.symmetric && i != j {
+				t.StF32(e.pher, j*n+i, acc[t.ID()])
+			}
+		})
+	}
+
+	res, err := e.launch(cfg, fmt.Sprintf("pher-scatter-v%d", int(plan.version)), perBlockOps, kernel)
+	if err != nil {
+		return nil, err
+	}
+	if antStride > 1 {
+		rescaleAnts(res, e.Dev, &cfg, float64(m)/float64(scanned))
+	}
+	return res, nil
+}
+
+// rescaleAnts extrapolates a launch whose kernel scanned only every k-th
+// ant: all per-work meters scale by the factor, while the structural warp
+// count stays (the same warps did proportionally more work), and the
+// simulated time is recomputed.
+func rescaleAnts(res *cuda.LaunchResult, dev *cuda.Device, cfg *cuda.LaunchConfig, factor float64) {
+	warps := res.Meter.WarpsExecuted
+	res.Meter.Scale(factor)
+	res.Meter.WarpsExecuted = warps
+	res.Seconds, res.Breakdown = cuda.EstimateTime(dev, cfg, &res.Meter)
+}
+
+// upperTriangle maps a linear index k in [0, n(n+1)/2) to the (i, j) cell
+// of the upper triangle (i <= j) enumerated row by row.
+func upperTriangle(k, n int) (int, int) {
+	// Row i starts at offset i*n - i*(i-1)/2. Invert with the quadratic
+	// formula, then correct for float error.
+	fi := math.Floor((float64(2*n+1) - math.Sqrt(float64((2*n+1)*(2*n+1))-8*float64(k))) / 2)
+	i := int(fi)
+	if i < 0 {
+		i = 0
+	}
+	rowStart := func(i int) int { return i*n - i*(i-1)/2 }
+	for i > 0 && rowStart(i) > k {
+		i--
+	}
+	for i < n-1 && rowStart(i+1) <= k {
+		i++
+	}
+	j := i + (k - rowStart(i))
+	return i, j
+}
+
+// UpdatePheromone runs one full pheromone-update stage with the selected
+// version and returns the kernels launched.
+func (e *Engine) UpdatePheromone(v PherVersion) (*StageResult, error) {
+	stage := &StageResult{}
+	switch v {
+	case PherAtomicShared, PherAtomic:
+		evap, err := e.EvaporateKernel()
+		if err != nil {
+			return nil, err
+		}
+		stage.add(evap)
+		dep, err := e.depositAtomic(v == PherAtomicShared)
+		if err != nil {
+			return nil, err
+		}
+		stage.add(dep)
+	case PherReduction, PherScatterGatherTiled, PherScatterGather:
+		r, err := e.pherScatterGather(v)
+		if err != nil {
+			return nil, err
+		}
+		stage.add(r)
+	default:
+		return nil, fmt.Errorf("core: unknown pheromone version %d", int(v))
+	}
+	return stage, nil
+}

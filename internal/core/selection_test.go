@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+// The paper's data-parallel kernel selects the next city as
+// argmax(choice · rand · tabu) — a stochastic winner, not the exact
+// random-proportional rule of eq. (1). (The same mechanism was later
+// formalised as "I-Roulette" in follow-up work.) These tests pin the
+// property that matters for the algorithm: the selection is strongly
+// monotone in the choice weights, so pheromone reinforcement still steers
+// the colony, and its support covers exactly the feasible cities.
+
+// firstStepCounts constructs tours repeatedly with the data-parallel kernel
+// from a frozen pheromone state and tallies which city follows city
+// `from` whenever an ant starts there.
+func firstStepCounts(t *testing.T, rounds int) (map[int32]map[int32]int, *core.Engine) {
+	t.Helper()
+	in := tsp.MustLoadBenchmark("att48")
+	e, err := core.NewEngine(cuda.TeslaM2050(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]map[int32]int{}
+	for r := 0; r < rounds; r++ {
+		if _, err := e.ConstructTours(core.TourDataParallel); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < e.Ants(); k++ {
+			tour := e.Tour(k)
+			from, to := tour[0], tour[1]
+			if counts[from] == nil {
+				counts[from] = map[int32]int{}
+			}
+			counts[from][to]++
+		}
+	}
+	return counts, e
+}
+
+func TestDataParallelSelectionMonotoneInWeights(t *testing.T) {
+	counts, e := firstStepCounts(t, 60)
+	in := e.In
+	n := in.N()
+	choice := e.ChoiceData()
+
+	// For starting cities with enough samples, the empirically most
+	// frequent successor must be among the top feasible cities by weight.
+	checked := 0
+	for from, tos := range counts {
+		total := 0
+		bestCity, bestCount := int32(-1), 0
+		for to, c := range tos {
+			total += c
+			if c > bestCount {
+				bestCity, bestCount = to, c
+			}
+		}
+		if total < 40 {
+			continue
+		}
+		checked++
+		// Rank of the empirical favourite by choice weight.
+		w := choice[int(from)*n+int(bestCity)]
+		higher := 0
+		for j := 0; j < n; j++ {
+			if int32(j) != from && choice[int(from)*n+j] > w {
+				higher++
+			}
+		}
+		if higher > 5 {
+			t.Errorf("from city %d: favourite successor %d ranks only #%d by weight",
+				from, bestCity, higher+1)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no starting city accumulated enough samples")
+	}
+}
+
+func TestDataParallelSelectionCoversFeasibleSupport(t *testing.T) {
+	// Over many rounds the stochastic selection must not collapse to a
+	// single successor per city (it would if the rand factor were broken).
+	counts, _ := firstStepCounts(t, 60)
+	multi := 0
+	for _, tos := range counts {
+		if len(tos) >= 2 {
+			multi++
+		}
+	}
+	if multi < len(counts)/2 {
+		t.Errorf("only %d/%d starting cities saw more than one successor", multi, len(counts))
+	}
+}

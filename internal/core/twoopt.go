@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"antgpu/internal/cuda"
+)
+
+// GPU 2-opt local search: one thread block per ant, following the standard
+// GPU formulation of 2-opt that post-dates the paper (and that the AS +
+// local-search configurations of ACOTSP motivate): every round, the
+// block's threads evaluate the nearest-neighbour candidate moves of their
+// city slice in parallel, a shared-memory argmax reduction selects the
+// best improving move, and the threads cooperatively reverse the shorter
+// broken segment. Rounds repeat until no candidate move improves the tour.
+//
+// Unlike the CPU's first-improvement scheme, this is best-improvement per
+// round — the natural data-parallel variant; both converge to a 2-opt
+// local optimum over the same candidate set.
+
+// LocalSearchKernel improves every ant's tour in place and refreshes the
+// device length buffer. It must run after an unsampled construction stage.
+func (e *Engine) LocalSearchKernel() (*StageResult, error) {
+	if e.posBuf == nil {
+		e.posBuf = cuda.MallocI32("positions", e.m*e.n)
+	}
+	n, m, nn := e.n, e.m, e.nn
+	threads := 128
+	if threads > e.Dev.MaxThreadsPerBlock {
+		threads = e.Dev.MaxThreadsPerBlock
+	}
+	// Safety bound on rounds: a 2-opt move strictly shortens an integer
+	// tour length, so termination is guaranteed; the cap only guards
+	// against a pathological move count in one kernel.
+	maxRounds := 4 * n
+
+	cfg := cuda.LaunchConfig{
+		Grid:          cuda.D1(m),
+		Block:         cuda.D1(threads),
+		SharedBytes:   4 * (2*threads + 8),
+		RegsPerThread: 28,
+	}
+
+	kernel := func(b *cuda.Block) {
+		ant := b.LinearIdx()
+		base := ant * e.tourPad
+		posBase := ant * n
+
+		gains := b.SharedF32(threads) // per-thread best gain
+		moves := b.SharedI32(threads) // per-thread best move: encoded position pair
+		bestSh := b.SharedI32(4)      // selected move: i, j (positions), gain lo/hi unused
+		flag := b.SharedI32(1)        // improvement found this round
+
+		// Initialise the position index in parallel.
+		chunk := (n + threads - 1) / threads
+		b.Run(func(t *cuda.Thread) {
+			for k := 0; k < chunk; k++ {
+				p := t.ID()*chunk + k
+				if p >= n {
+					break
+				}
+				c := t.LdI32(e.tours, base+p)
+				t.StI32(e.posBuf, posBase+int(c), int32(p))
+				t.Charge(chargeIndex)
+			}
+		})
+		b.Sync()
+
+		succPos := func(p int) int {
+			if p+1 == n {
+				return 0
+			}
+			return p + 1
+		}
+
+		for round := 0; round < maxRounds; round++ {
+			// Phase 1: every thread scans its cities' candidate moves for
+			// the best gain. Move encoding: positions (pi, pj) of the two
+			// broken edges' first endpoints, packed as pi*n+pj.
+			b.Run(func(t *cuda.Thread) {
+				// Distances are integers (stored as float32), so any true
+				// improvement gains at least 1; the 0.5 threshold keeps
+				// float rounding from producing zero-gain move cycles.
+				bestGain := float32(0.5)
+				bestMove := int32(-1)
+				for k := 0; k < chunk; k++ {
+					ci := t.ID()*chunk + k
+					if ci >= n {
+						break
+					}
+					pi := int(t.LdI32(e.posBuf, posBase+ci))
+					si := int(t.LdI32(e.tours, base+succPos(pi)))
+					dI := t.LdF32(e.dist, ci*n+si)
+					t.Charge(chargeIndex + chargeMulAdd)
+					for h := 0; h < nn; h++ {
+						cj := int(t.LdI32(e.nnList, ci*nn+h))
+						dC := t.LdF32(e.dist, ci*n+cj)
+						t.Charge(chargeCompare)
+						if dC >= dI {
+							break // sorted candidates: no closer one left
+						}
+						pj := int(t.LdI32(e.posBuf, posBase+cj))
+						sj := int(t.LdI32(e.tours, base+succPos(pj)))
+						if sj == ci || cj == si {
+							continue
+						}
+						gain := dI + t.LdF32(e.dist, cj*n+sj) -
+							dC - t.LdF32(e.dist, si*n+sj)
+						t.Charge(4 * chargeMulAdd)
+						if gain > bestGain {
+							bestGain = gain
+							bestMove = int32(pi)*int32(n) + int32(pj)
+						}
+					}
+				}
+				t.StShF32(gains, t.ID(), bestGain)
+				t.StShI32(moves, t.ID(), bestMove)
+			})
+			b.Sync()
+
+			// Phase 2: argmax reduction over the per-thread bests.
+			for s := threads / 2; s > 0; s /= 2 {
+				s := s
+				b.Run(func(t *cuda.Thread) {
+					if t.ID() < s {
+						a := t.LdShF32(gains, t.ID())
+						c := t.LdShF32(gains, t.ID()+s)
+						t.Charge(chargeCompare)
+						if c > a {
+							t.StShF32(gains, t.ID(), c)
+							t.StShI32(moves, t.ID(), t.LdShI32(moves, t.ID()+s))
+						}
+					}
+				})
+				b.Sync()
+			}
+			b.Run(func(t *cuda.Thread) {
+				if t.ID() != 0 {
+					return
+				}
+				if mv := t.LdShI32(moves, 0); mv >= 0 {
+					pi := int(mv) / n
+					pj := int(mv) % n
+					// Reverse segment succ(pi)..pj, or its complement if
+					// shorter.
+					i := succPos(pi)
+					inner := pj - i
+					if inner < 0 {
+						inner += n
+					}
+					inner++
+					if inner <= n-inner {
+						t.StShI32(bestSh, 0, int32(i))
+						t.StShI32(bestSh, 1, int32(inner))
+					} else {
+						t.StShI32(bestSh, 0, int32(succPos(pj)))
+						t.StShI32(bestSh, 1, int32(n-inner))
+					}
+					t.StShI32(flag, 0, 1)
+				} else {
+					t.StShI32(flag, 0, 0)
+				}
+				t.Charge(8)
+			})
+			b.Sync()
+
+			improved := flag[0] == 1
+			if !improved {
+				break
+			}
+
+			// Phase 3: cooperative reversal — thread k swaps pair k,
+			// k+threads, ... of the segment.
+			b.Run(func(t *cuda.Thread) {
+				start := int(t.LdShI32(bestSh, 0))
+				length := int(t.LdShI32(bestSh, 1))
+				for k := t.ID(); k < length/2; k += threads {
+					pa := (start + k) % n
+					pb := (start + length - 1 - k) % n
+					ca := t.LdI32(e.tours, base+pa)
+					cb := t.LdI32(e.tours, base+pb)
+					t.StI32(e.tours, base+pa, cb)
+					t.StI32(e.tours, base+pb, ca)
+					t.StI32(e.posBuf, posBase+int(ca), int32(pb))
+					t.StI32(e.posBuf, posBase+int(cb), int32(pa))
+					t.Charge(2 * chargeIndex)
+				}
+			})
+			b.Sync()
+		}
+
+		// Recompute the tour length in parallel: each thread sums a slice
+		// of edges, then a reduction adds them up. Also refresh the padded
+		// wrap entries, which the reversal may have bypassed.
+		b.Run(func(t *cuda.Thread) {
+			sum := float32(0)
+			for k := 0; k < chunk; k++ {
+				p := t.ID()*chunk + k
+				if p >= n {
+					break
+				}
+				a := t.LdI32(e.tours, base+p)
+				c := t.LdI32(e.tours, base+succPos(p))
+				sum += t.LdF32(e.dist, int(a)*n+int(c))
+				t.Charge(chargeMulAdd)
+			}
+			t.StShF32(gains, t.ID(), sum)
+		})
+		b.Sync()
+		for s := threads / 2; s > 0; s /= 2 {
+			s := s
+			b.Run(func(t *cuda.Thread) {
+				if t.ID() < s {
+					v := t.LdShF32(gains, t.ID()) + t.LdShF32(gains, t.ID()+s)
+					t.StShF32(gains, t.ID(), v)
+					t.Charge(chargeMulAdd)
+				}
+			})
+			b.Sync()
+		}
+		b.Run(func(t *cuda.Thread) {
+			if t.ID() != 0 {
+				return
+			}
+			first := t.LdI32(e.tours, base+0)
+			for p := n; p < e.tourPad; p++ {
+				t.StI32(e.tours, base+p, first)
+			}
+			t.StF32(e.lengths, ant, t.LdShF32(gains, 0))
+		})
+	}
+
+	res, err := e.launch(cfg, "twoopt", int64(n*nn*4), kernel)
+	if err != nil {
+		return nil, err
+	}
+	stage := &StageResult{}
+	stage.add(res)
+	return stage, nil
+}
+
+// IterateWithLocalSearch runs construction, 2-opt local search on every
+// ant, best tracking and the pheromone update — the AS + local search
+// configuration of ACOTSP.
+func (e *Engine) IterateWithLocalSearch(tv TourVersion, pv PherVersion) (*IterationResult, error) {
+	if e.SampleBudget > 0 {
+		return nil, fmt.Errorf("core: IterateWithLocalSearch needs full functional execution; clear SampleBudget")
+	}
+	construct, err := e.ConstructTours(tv)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := e.LocalSearchKernel()
+	if err != nil {
+		return nil, err
+	}
+	construct.Kernels = append(construct.Kernels, ls.Kernels...)
+	ant, l, err := e.ReadBest()
+	if err != nil {
+		return nil, err
+	}
+	update, err := e.UpdatePheromone(pv)
+	if err != nil {
+		return nil, err
+	}
+	return &IterationResult{Construct: construct, Update: update, BestAnt: ant, BestLen: l}, nil
+}

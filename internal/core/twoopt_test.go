@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"testing"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tsp"
+)
+
+func TestGPULocalSearchImprovesTours(t *testing.T) {
+	for _, dev := range []*cuda.Device{cuda.TeslaC1060(), cuda.TeslaM2050()} {
+		e := newEngine(t, dev, "kroC100")
+		if _, err := e.ConstructTours(core.TourNNList); err != nil {
+			t.Fatal(err)
+		}
+		n := e.N()
+		before := make([]int64, e.Ants())
+		for k := 0; k < e.Ants(); k++ {
+			before[k] = e.In.TourLength(e.Tour(k))
+		}
+		stage, err := e.LocalSearchKernel()
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if stage.Millis() <= 0 {
+			t.Errorf("%s: non-positive LS time", dev.Name)
+		}
+		improvedAny := false
+		for k := 0; k < e.Ants(); k++ {
+			tour := e.Tour(k)
+			if err := e.In.ValidTour(tour); err != nil {
+				t.Fatalf("%s ant %d after 2-opt: %v", dev.Name, k, err)
+			}
+			after := e.In.TourLength(tour)
+			if after > before[k] {
+				t.Fatalf("%s ant %d worsened: %d -> %d", dev.Name, k, before[k], after)
+			}
+			if after < before[k] {
+				improvedAny = true
+			}
+			// Device-recorded length must match within float tolerance.
+			got := float64(e.Lengths()[k])
+			if got < float64(after)*0.999 || got > float64(after)*1.001 {
+				t.Fatalf("%s ant %d: device length %v vs actual %d", dev.Name, k, got, after)
+			}
+			// Padding must wrap to the first city (pheromone kernels rely
+			// on it after reversals).
+			_ = n
+		}
+		if !improvedAny {
+			t.Errorf("%s: 2-opt improved no ant", dev.Name)
+		}
+	}
+}
+
+func TestGPULocalSearchReachesLocalOptimum(t *testing.T) {
+	e := newEngine(t, cuda.TeslaM2050(), "att48")
+	if _, err := e.ConstructTours(core.TourDataParallel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LocalSearchKernel(); err != nil {
+		t.Fatal(err)
+	}
+	first := make([]int64, e.Ants())
+	for k := 0; k < e.Ants(); k++ {
+		first[k] = e.In.TourLength(e.Tour(k))
+	}
+	// A second pass must find nothing (best-improvement converged).
+	if _, err := e.LocalSearchKernel(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < e.Ants(); k++ {
+		if got := e.In.TourLength(e.Tour(k)); got != first[k] {
+			t.Fatalf("ant %d: second LS pass changed %d -> %d", k, first[k], got)
+		}
+	}
+}
+
+func TestGPULocalSearchMatchesCPUQuality(t *testing.T) {
+	// CPU first-improvement and GPU best-improvement 2-opt won't produce
+	// identical tours, but their local optima should have comparable
+	// quality from the same starting tours.
+	in := tsp.MustLoadBenchmark("kroC100")
+	e, err := core.NewEngine(cuda.TeslaM2050(), in, aco.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ConstructTours(core.TourNNList); err != nil {
+		t.Fatal(err)
+	}
+	// Copy tours for the CPU pass before the GPU mutates them.
+	n := in.N()
+	cpuTours := make([][]int32, e.Ants())
+	for k := range cpuTours {
+		cpuTours[k] = append([]int32(nil), e.Tour(k)...)
+	}
+	if _, err := e.LocalSearchKernel(); err != nil {
+		t.Fatal(err)
+	}
+	nnList := in.NNList(30)
+	var cpuSum, gpuSum int64
+	for k := 0; k < e.Ants(); k++ {
+		cpuSum += aco.TwoOpt(in, cpuTours[k], nnList, 30, nil)
+		gpuSum += in.TourLength(e.Tour(k))
+	}
+	cpuAvg := float64(cpuSum) / float64(e.Ants())
+	gpuAvg := float64(gpuSum) / float64(e.Ants())
+	if gpuAvg > cpuAvg*1.05 || cpuAvg > gpuAvg*1.05 {
+		t.Errorf("local optima diverge: CPU avg %.0f vs GPU avg %.0f (n=%d)", cpuAvg, gpuAvg, n)
+	}
+}
+
+func TestIterateWithLocalSearchBeatsPlain(t *testing.T) {
+	run := func(ls bool) int64 {
+		e := newEngine(t, cuda.TeslaM2050(), "kroC100")
+		for i := 0; i < 5; i++ {
+			var err error
+			if ls {
+				_, err = e.IterateWithLocalSearch(core.TourNNList, core.PherAtomicShared)
+			} else {
+				_, err = e.Iterate(core.TourNNList, core.PherAtomicShared)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, best := e.Best()
+		return best
+	}
+	plain := run(false)
+	withLS := run(true)
+	if withLS >= plain {
+		t.Errorf("AS+2opt (%d) should beat plain AS (%d)", withLS, plain)
+	}
+}
+
+func TestIterateWithLocalSearchRefusesSampling(t *testing.T) {
+	e := newEngine(t, cuda.TeslaM2050(), "att48")
+	e.SampleBudget = 1000
+	if _, err := e.IterateWithLocalSearch(core.TourNNList, core.PherAtomicShared); err == nil {
+		t.Error("sampled local-search iteration accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package cuda
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// bufferID identifies a device allocation so the coalescing model can tell
+// accesses to different buffers apart without relying on host addresses.
+type bufferID uint32
+
+var nextBufferID atomic.Uint32
+
+func newBufferID() bufferID { return bufferID(nextBufferID.Add(1)) }
+
+// F32 is a device buffer of float32 values ("device global memory"). Host
+// code reads and writes it freely through Data; kernels must access it
+// through Thread methods so the accesses are metered.
+type F32 struct {
+	id   bufferID
+	name string
+	data []float32
+	lock addrLocks
+}
+
+// MallocF32 allocates a named float32 device buffer of n elements.
+func MallocF32(name string, n int) *F32 {
+	return &F32{id: newBufferID(), name: name, data: make([]float32, n)}
+}
+
+// NewF32From allocates a device buffer initialised with a copy of src.
+func NewF32From(name string, src []float32) *F32 {
+	b := MallocF32(name, len(src))
+	copy(b.data, src)
+	return b
+}
+
+// Data exposes the backing store for host-side initialisation and readback
+// (the analogue of cudaMemcpy).
+func (b *F32) Data() []float32 { return b.data }
+
+// Len returns the element count.
+func (b *F32) Len() int { return len(b.data) }
+
+// Name returns the buffer's diagnostic name.
+func (b *F32) Name() string { return b.name }
+
+// Fill sets every element to v.
+func (b *F32) Fill(v float32) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+func (b *F32) String() string { return fmt.Sprintf("F32[%s, %d]", b.name, len(b.data)) }
+
+// I32 is a device buffer of int32 values.
+type I32 struct {
+	id   bufferID
+	name string
+	data []int32
+	lock addrLocks
+}
+
+// MallocI32 allocates a named int32 device buffer of n elements.
+func MallocI32(name string, n int) *I32 {
+	return &I32{id: newBufferID(), name: name, data: make([]int32, n)}
+}
+
+// NewI32From allocates a device buffer initialised with a copy of src.
+func NewI32From(name string, src []int32) *I32 {
+	b := MallocI32(name, len(src))
+	copy(b.data, src)
+	return b
+}
+
+// Data exposes the backing store for host-side initialisation and readback.
+func (b *I32) Data() []int32 { return b.data }
+
+// Len returns the element count.
+func (b *I32) Len() int { return len(b.data) }
+
+// Name returns the buffer's diagnostic name.
+func (b *I32) Name() string { return b.name }
+
+// Fill sets every element to v.
+func (b *I32) Fill(v int32) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+func (b *I32) String() string { return fmt.Sprintf("I32[%s, %d]", b.name, len(b.data)) }
+
+// U64 is a device buffer of uint64 values (used for RNG states).
+type U64 struct {
+	id   bufferID
+	name string
+	data []uint64
+}
+
+// MallocU64 allocates a named uint64 device buffer of n elements.
+func MallocU64(name string, n int) *U64 {
+	return &U64{id: newBufferID(), name: name, data: make([]uint64, n)}
+}
+
+// Data exposes the backing store.
+func (b *U64) Data() []uint64 { return b.data }
+
+// Len returns the element count.
+func (b *U64) Len() int { return len(b.data) }
+
+// Name returns the buffer's diagnostic name.
+func (b *U64) Name() string { return b.name }
+
+// addrLocks provides striped mutexes so that atomic device operations from
+// concurrently executing blocks (which run on separate host goroutines) are
+// host-race-free. The stripe count is a power of two.
+type addrLocks struct {
+	mu [64]sync.Mutex
+}
+
+func (l *addrLocks) of(i int) *sync.Mutex { return &l.mu[i&63] }

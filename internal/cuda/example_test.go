@@ -1,0 +1,57 @@
+package cuda_test
+
+import (
+	"fmt"
+
+	"antgpu/internal/cuda"
+)
+
+// A complete kernel: SAXPY over a million elements on the simulated Tesla
+// C1060. The kernel is functional — y really holds a*x+y afterwards — and
+// the launch reports deterministic simulated timing derived from the
+// metered memory traffic.
+func ExampleLaunch() {
+	dev := cuda.TeslaC1060()
+	const n = 1 << 20
+	x := cuda.MallocF32("x", n)
+	y := cuda.MallocF32("y", n)
+	for i := 0; i < n; i++ {
+		x.Data()[i] = 1
+		y.Data()[i] = 2
+	}
+
+	const a = 3.0
+	cfg := cuda.LaunchConfig{
+		Grid:           cuda.D1(n / 256),
+		Block:          cuda.D1(256),
+		LatencyOverlap: 4, // independent element streams
+	}
+	res, err := cuda.Launch(dev, cfg, "saxpy", func(b *cuda.Block) {
+		b.Run(func(t *cuda.Thread) {
+			i := t.GlobalID()
+			t.StF32(y, i, a*t.LdF32(x, i)+t.LdF32(y, i))
+			t.Charge(1) // the fused multiply-add
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("y[17] =", y.Data()[17])
+	fmt.Println("bound:", res.Breakdown.Bound)
+	fmt.Println("bytes moved:", int64(res.Meter.GlobalBytes(dev)))
+	// Output:
+	// y[17] = 5
+	// bound: memory
+	// bytes moved: 12582912
+}
+
+// The occupancy calculator on its own.
+func ExampleDevice_OccupancyOf() {
+	dev := cuda.TeslaM2050()
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(100), Block: cuda.D1(192), SharedBytes: 12 * 1024}
+	occ := dev.OccupancyOf(&cfg)
+	fmt.Printf("%d blocks/SM, limited by %s\n", occ.BlocksPerSM, occ.LimitedBy)
+	// Output:
+	// 4 blocks/SM, limited by shared
+}

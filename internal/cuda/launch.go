@@ -1,0 +1,176 @@
+package cuda
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// LaunchResult reports the outcome of a simulated kernel launch: the scaled
+// whole-launch meters, the occupancy achieved, the sampling stride actually
+// used, and the estimated kernel time on the device.
+type LaunchResult struct {
+	Name      string
+	Meter     Meter
+	Occupancy Occupancy
+	Stride    int     // 1 when every block was executed
+	Seconds   float64 // simulated kernel time
+	Breakdown TimeBreakdown
+}
+
+// Millis returns the simulated kernel time in milliseconds, the unit the
+// paper's tables use.
+func (r *LaunchResult) Millis() float64 { return r.Seconds * 1e3 }
+
+func (r *LaunchResult) String() string {
+	return fmt.Sprintf("%s: %.4f ms (stride %d, %s)", r.Name, r.Millis(), r.Stride, &r.Meter)
+}
+
+// Launch executes a kernel over the grid described by cfg on the simulated
+// device and returns the metered result. Blocks run functionally; when
+// cfg requests sampling, only every stride-th block executes and the meters
+// are scaled to the full grid.
+func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult, error) {
+	if err := cfg.Validate(dev); err != nil {
+		return nil, err
+	}
+	blocks := cfg.Blocks()
+	stride := chooseStride(&cfg)
+
+	executed := 0
+	for i := 0; i < blocks; i += stride {
+		executed++
+	}
+
+	total := Meter{}
+	addrs := map[uint64]int32{}
+	var mu sync.Mutex
+
+	workers := runtime.NumCPU()
+	if workers > executed {
+		workers = executed
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	runRange := func(start int) error {
+		blk := newBlock(dev, &cfg)
+		for i := start * stride; i < blocks; i += stride * workers {
+			blk.reset(i)
+			if err := runBlock(blk, k); err != nil {
+				return err
+			}
+			mu.Lock()
+			total.Add(blk.meter)
+			for a, n := range blk.atomicAddrs {
+				addrs[a] += n
+			}
+			mu.Unlock()
+		}
+		return nil
+	}
+
+	var err error
+	if workers == 1 {
+		err = runRange(0)
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = runRange(w)
+			}(w)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Cross-block atomic conflicts: per address with multiplicity k, k-1
+	// operations serialise at the memory partition. The per-warp retirement
+	// already counted intra-warp conflicts; the histogram subsumes them, so
+	// take the larger of the two views rather than double-charging.
+	crossExtra := 0.0
+	for _, n := range addrs {
+		if n > 1 {
+			crossExtra += float64(n - 1)
+		}
+	}
+	if crossExtra > total.AtomicSerialExtra {
+		total.AtomicSerialExtra = crossExtra
+	}
+	total.AtomicDistinctAddr = int64(len(addrs))
+
+	if executed < blocks {
+		total.Scale(float64(blocks) / float64(executed))
+	}
+	total.BlocksLaunched = int64(blocks)
+	total.BlocksExecuted = int64(executed)
+
+	res := &LaunchResult{
+		Name:      name,
+		Meter:     total,
+		Occupancy: dev.OccupancyOf(&cfg),
+		Stride:    stride,
+	}
+	res.Seconds, res.Breakdown = EstimateTime(dev, &cfg, &total)
+	return res, nil
+}
+
+// MustLaunch is Launch for callers with statically valid configurations; it
+// panics on configuration errors.
+func MustLaunch(dev *Device, cfg LaunchConfig, name string, k Kernel) *LaunchResult {
+	r, err := Launch(dev, cfg, name, k)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// runBlock executes one block, converting kernel panics into errors so a
+// broken kernel fails the launch rather than the process.
+func runBlock(b *Block, k Kernel) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cuda: kernel fault in block %d: %v", b.linear, r)
+		}
+	}()
+	k(b)
+	// Structural warp count: the latency model divides per-warp work by
+	// the number of warps resident over the launch, counted once per block.
+	b.meter.WarpsExecuted += int64(b.warps)
+	return nil
+}
+
+// chooseStride resolves the sampling stride of a launch.
+func chooseStride(cfg *LaunchConfig) int {
+	blocks := cfg.Blocks()
+	stride := cfg.SampleStride
+	if stride == 0 && cfg.SampleBudget > 0 {
+		per := cfg.LaneOpsPerBlockHint
+		if per <= 0 {
+			per = int64(cfg.Threads())
+		}
+		totalOps := per * int64(blocks)
+		if totalOps > cfg.SampleBudget {
+			stride = int((totalOps + cfg.SampleBudget - 1) / cfg.SampleBudget)
+		}
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	if stride > blocks {
+		stride = blocks
+	}
+	return stride
+}

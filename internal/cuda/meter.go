@@ -1,0 +1,146 @@
+package cuda
+
+import "fmt"
+
+// Meter accumulates the architectural event counts of a kernel launch. All
+// counts are in units of the event itself (instruction counts are warp-wide
+// issues, transactions are SegmentBytes-wide), and are scaled by the sample
+// stride when block sampling is in effect, so a sampled launch reports
+// expectation-exact whole-launch meters.
+type Meter struct {
+	// Warp instruction issues by kind. ComputeIssues covers arithmetic
+	// charged via Thread.Charge; DivergentExtra counts the additional
+	// issues caused by intra-warp divergence (charged explicitly by kernels
+	// that model divergent control flow via Thread.Diverge).
+	ComputeIssues   float64
+	DivergentExtra  float64
+	GlobalLoadInstr float64
+	GlobalStoreInst float64
+	SharedInstr     float64
+	TexInstr        float64
+	AtomicInstr     float64
+
+	// SharedReplays counts the extra shared-memory instruction replays
+	// caused by bank conflicts (degree-1 per conflicted instruction).
+	SharedReplays float64
+
+	// Global memory traffic.
+	GlobalLoadTx   int64 // coalesced read transactions (SegmentBytes each)
+	GlobalStoreTx  int64 // coalesced write transactions
+	GlobalLoadOps  int64 // per-lane load operations
+	GlobalStoreOps int64 // per-lane store operations
+
+	// Shared memory per-lane operations.
+	SharedOps int64
+
+	// Texture cache.
+	TexFetches   int64
+	TexHits      int64
+	TexMisses    int64   // missed lines; each produces a global transaction
+	TexMissInstr float64 // texture instructions with at least one miss
+
+	// Atomics.
+	AtomicOps          int64   // per-lane atomic operations
+	AtomicSerialExtra  float64 // serialised extra ops from address conflicts
+	AtomicDistinctAddr int64   // distinct addresses touched atomically
+
+	// Structure.
+	RunPhases      float64 // Run phases executed (scaled); ~dependent steps per block
+	BlocksLaunched int64   // grid size (unscaled)
+	BlocksExecuted int64   // blocks actually simulated (unscaled)
+	WarpsExecuted  int64   // scaled
+	Barriers       int64   // scaled __syncthreads count
+	LaneOps        int64   // scaled total per-lane simulator operations
+}
+
+// MemIssues returns the total memory-instruction issues of all kinds.
+func (m *Meter) MemIssues() float64 {
+	return m.GlobalLoadInstr + m.GlobalStoreInst + m.SharedInstr + m.TexInstr + m.AtomicInstr
+}
+
+// Issues returns the total warp instruction issues, including divergence
+// replays, memory instruction issues and shared-memory conflict replays.
+func (m *Meter) Issues() float64 {
+	return m.ComputeIssues + m.DivergentExtra + m.MemIssues() + m.SharedReplays
+}
+
+// GlobalTx returns the total number of global memory transactions,
+// including the transactions caused by texture misses.
+func (m *Meter) GlobalTx() int64 {
+	return m.GlobalLoadTx + m.GlobalStoreTx + m.TexMisses
+}
+
+// GlobalBytes returns the DRAM traffic in bytes given the device's
+// transaction segment size.
+func (m *Meter) GlobalBytes(dev *Device) float64 {
+	return float64(m.GlobalTx()) * float64(dev.SegmentBytes)
+}
+
+// Add accumulates o into m.
+func (m *Meter) Add(o *Meter) {
+	m.ComputeIssues += o.ComputeIssues
+	m.DivergentExtra += o.DivergentExtra
+	m.GlobalLoadInstr += o.GlobalLoadInstr
+	m.GlobalStoreInst += o.GlobalStoreInst
+	m.SharedInstr += o.SharedInstr
+	m.TexInstr += o.TexInstr
+	m.AtomicInstr += o.AtomicInstr
+	m.SharedReplays += o.SharedReplays
+	m.GlobalLoadTx += o.GlobalLoadTx
+	m.GlobalStoreTx += o.GlobalStoreTx
+	m.GlobalLoadOps += o.GlobalLoadOps
+	m.GlobalStoreOps += o.GlobalStoreOps
+	m.SharedOps += o.SharedOps
+	m.TexFetches += o.TexFetches
+	m.TexHits += o.TexHits
+	m.TexMisses += o.TexMisses
+	m.TexMissInstr += o.TexMissInstr
+	m.AtomicOps += o.AtomicOps
+	m.AtomicSerialExtra += o.AtomicSerialExtra
+	m.AtomicDistinctAddr += o.AtomicDistinctAddr
+	m.RunPhases += o.RunPhases
+	m.BlocksLaunched += o.BlocksLaunched
+	m.BlocksExecuted += o.BlocksExecuted
+	m.WarpsExecuted += o.WarpsExecuted
+	m.Barriers += o.Barriers
+	m.LaneOps += o.LaneOps
+}
+
+// Scale multiplies every extrapolatable count by f. BlocksLaunched and
+// BlocksExecuted are left untouched: they describe the launch itself.
+func (m *Meter) Scale(f float64) {
+	scaleI := func(v int64) int64 { return int64(float64(v)*f + 0.5) }
+	m.ComputeIssues *= f
+	m.DivergentExtra *= f
+	m.GlobalLoadInstr *= f
+	m.GlobalStoreInst *= f
+	m.SharedInstr *= f
+	m.TexInstr *= f
+	m.AtomicInstr *= f
+	m.SharedReplays *= f
+	m.GlobalLoadTx = scaleI(m.GlobalLoadTx)
+	m.GlobalStoreTx = scaleI(m.GlobalStoreTx)
+	m.GlobalLoadOps = scaleI(m.GlobalLoadOps)
+	m.GlobalStoreOps = scaleI(m.GlobalStoreOps)
+	m.SharedOps = scaleI(m.SharedOps)
+	m.TexFetches = scaleI(m.TexFetches)
+	m.TexHits = scaleI(m.TexHits)
+	m.TexMisses = scaleI(m.TexMisses)
+	m.TexMissInstr *= f
+	m.AtomicOps = scaleI(m.AtomicOps)
+	m.AtomicSerialExtra *= f
+	m.AtomicDistinctAddr = scaleI(m.AtomicDistinctAddr)
+	m.RunPhases *= f
+	m.WarpsExecuted = scaleI(m.WarpsExecuted)
+	m.Barriers = scaleI(m.Barriers)
+	m.LaneOps = scaleI(m.LaneOps)
+}
+
+func (m *Meter) String() string {
+	return fmt.Sprintf(
+		"issues=%.0f (compute=%.0f mem=%.0f div=%.0f replay=%.0f) gldTx=%d gstTx=%d shOps=%d tex=%d/%d atomics=%d(+%.0f serial) warps=%d",
+		m.Issues(), m.ComputeIssues, m.MemIssues(), m.DivergentExtra, m.SharedReplays,
+		m.GlobalLoadTx, m.GlobalStoreTx, m.SharedOps,
+		m.TexHits, m.TexFetches, m.AtomicOps, m.AtomicSerialExtra,
+		m.WarpsExecuted)
+}

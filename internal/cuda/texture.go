@@ -1,0 +1,48 @@
+package cuda
+
+// Texture is a read-only binding of a float32 device buffer to the texture
+// path. Fetches through a Texture go via a small per-SM read-only cache
+// (modelled as a per-block direct-mapped tag cache), which is how the paper's
+// versions (6) and (8) accelerate random-number and heuristic reads.
+type Texture struct {
+	buf *F32
+}
+
+// BindTexture creates a texture reference over buf, the analogue of
+// cudaBindTexture.
+func BindTexture(buf *F32) *Texture { return &Texture{buf: buf} }
+
+// Buf returns the underlying buffer.
+func (t *Texture) Buf() *F32 { return t.buf }
+
+// Len returns the element count of the underlying buffer.
+func (t *Texture) Len() int { return t.buf.Len() }
+
+// texTags is a direct-mapped tag store modelling the texture cache. It is
+// deterministic: the same access sequence yields the same hits and misses.
+type texTags struct {
+	tags []int64
+}
+
+func newTexTags(dev *Device) *texTags {
+	lines := dev.TextureCacheBytes / dev.TextureLineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	t := &texTags{tags: make([]int64, lines)}
+	for i := range t.tags {
+		t.tags[i] = -1
+	}
+	return t
+}
+
+// probe checks whether line is cached, inserting it if not, and reports the
+// hit.
+func (t *texTags) probe(line int64) bool {
+	slot := line % int64(len(t.tags))
+	if t.tags[slot] == line {
+		return true
+	}
+	t.tags[slot] = line
+	return false
+}

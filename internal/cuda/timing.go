@@ -1,0 +1,143 @@
+package cuda
+
+import "math"
+
+// TimeBreakdown exposes the three bounds of the roofline timing model so
+// callers (and tests) can see which resource limits a kernel.
+type TimeBreakdown struct {
+	ComputeSeconds float64 // instruction-issue throughput bound
+	MemorySeconds  float64 // DRAM bandwidth bound (incl. atomic serialisation)
+	LatencySeconds float64 // dependent-chain / occupancy bound
+	OverheadSec    float64 // kernel launch overhead
+	Bound          string  // "compute", "memory" or "latency"
+}
+
+// EstimateTime converts a launch's meters into a simulated kernel duration
+// on the device using a roofline model with three bounds:
+//
+//   - compute: total warp instruction issues divided over the SMs actually
+//     covered by the grid, at the device's issue rate;
+//
+//   - memory: total DRAM traffic at the effective bandwidth (capped per SM,
+//     so a one-block launch cannot consume the whole chip's bandwidth),
+//     plus atomic throughput and serialisation, scaled by the float-atomic
+//     emulation factor on devices without native float atomics;
+//
+//   - latency: the dependent chain of an average warp, executed once per
+//     occupancy wave. A warp pays the DRAM round-trip latency once per
+//     *phase* that touches global memory (loads within a phase are
+//     independent and pipeline), a per-transaction service cost (which is
+//     what punishes uncoalesced access), its own issue slots, shared/texture
+//     latencies, and barrier stalls. This is the bound that penalises the
+//     paper's task-parallel tour kernels: few heavy warps cannot hide
+//     latency.
+//
+// The kernel time is the maximum of the three bounds plus launch overhead.
+// The model is deterministic: identical meters yield identical times.
+func EstimateTime(dev *Device, cfg *LaunchConfig, m *Meter) (float64, TimeBreakdown) {
+	occ := dev.OccupancyOf(cfg)
+	blocks := cfg.Blocks()
+	fblocks := float64(blocks)
+
+	// --- compute bound ---
+	effSMs := dev.SMs
+	if blocks < effSMs {
+		effSMs = blocks
+	}
+	if effSMs < 1 {
+		effSMs = 1
+	}
+	issueCy := dev.IssueCyclesPerWarpInstr()
+	// Global and atomic accesses occupy the load-store pipeline for longer
+	// than a plain issue slot; texture fetches for a quarter of that.
+	lsuCycles := (m.GlobalLoadInstr + m.GlobalStoreInst + m.AtomicInstr) * dev.GlobalIssueCycles
+	lsuCycles += m.TexInstr * dev.GlobalIssueCycles / 4
+	computeCycles := (m.Issues()*issueCy + lsuCycles) / float64(effSMs)
+	computeSec := computeCycles / dev.ClockHz
+
+	// --- memory bound ---
+	bw := dev.BandwidthBytesPS
+	if perSM := float64(effSMs) * dev.PerSMBandwidthBPS; perSM < bw {
+		bw = perSM
+	}
+	memSec := m.GlobalBytes(dev) / bw
+	emul := 1.0
+	if !dev.NativeFloatAtomics {
+		emul = dev.FloatAtomicEmulation
+	}
+	// Atomic units process one operation per few cycles; conflicting
+	// operations additionally serialise.
+	const atomicThroughputCycles = 2.0
+	atomicCycles := (float64(m.AtomicOps)*atomicThroughputCycles +
+		m.AtomicSerialExtra*dev.AtomicSerialCycles) * emul
+	memSec += atomicCycles / dev.ClockHz
+
+	// --- latency bound ---
+	warps := float64(m.WarpsExecuted)
+	if warps < 1 {
+		warps = 1
+	}
+	perWarp := func(v float64) float64 { return v / warps }
+	perBlock := func(v float64) float64 { return v / fblocks }
+
+	globalInstrPerWarp := perWarp(m.GlobalLoadInstr + m.GlobalStoreInst + m.AtomicInstr +
+		m.TexMissInstr)
+
+	chainCycles := perWarp(m.Issues()) * issueCy
+	if cfg.DependentMemory {
+		// Dependent chains: every global instruction exposes the round-trip
+		// latency; the warps resident on the SM cover each other's stalls.
+		resident := math.Ceil(warps / float64(effSMs))
+		if o := float64(occ.WarpsPerSM); o < resident {
+			resident = o
+		}
+		if resident < 1 {
+			resident = 1
+		}
+		chainCycles += globalInstrPerWarp * dev.MemLatencyCycles / resident
+	} else {
+		// Independent streams: DRAM latency is paid once per memory-
+		// touching phase; a phase with several loads overlaps them and a
+		// phase without global accesses pays nothing.
+		memPhases := perBlock(m.RunPhases)
+		if globalInstrPerWarp < memPhases {
+			memPhases = globalInstrPerWarp
+		}
+		chainCycles += memPhases * dev.MemLatencyCycles
+	}
+	chainCycles += perWarp(float64(m.TexHits)) * dev.TextureLatencyCycles
+	chainCycles += perWarp(m.SharedInstr) * dev.SharedLatencyCycles
+	chainCycles += perWarp(m.AtomicInstr) * (dev.AtomicLatencyCycles * emul / 4)
+	chainCycles += perBlock(float64(m.Barriers)) * dev.BarrierCycles
+	overlap := cfg.LatencyOverlap
+	if overlap <= 0 {
+		overlap = 1
+	}
+	chainCycles /= overlap
+
+	waves := math.Ceil(fblocks / float64(dev.SMs*occ.BlocksPerSM))
+	if waves < 1 {
+		waves = 1
+	}
+	// Transaction service is an SM-level pipeline: all transactions issued
+	// from one SM over the whole launch serialise through its load-store
+	// unit. This is a launch-wide term, not a per-wave one.
+	txServiceCycles := float64(m.GlobalTx()) / float64(effSMs) * dev.TxServiceCycles
+	latencySec := (waves*chainCycles + txServiceCycles) / dev.ClockHz
+
+	bd := TimeBreakdown{
+		ComputeSeconds: computeSec,
+		MemorySeconds:  memSec,
+		LatencySeconds: latencySec,
+		OverheadSec:    dev.KernelLaunchSeconds,
+	}
+	t, bound := computeSec, "compute"
+	if memSec > t {
+		t, bound = memSec, "memory"
+	}
+	if latencySec > t {
+		t, bound = latencySec, "latency"
+	}
+	bd.Bound = bound
+	return t + dev.KernelLaunchSeconds, bd
+}

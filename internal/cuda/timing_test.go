@@ -1,0 +1,147 @@
+package cuda_test
+
+import (
+	"testing"
+
+	"antgpu/internal/cuda"
+)
+
+// estimate builds a meter by hand and runs the timing model on it.
+func estimate(dev *cuda.Device, cfg cuda.LaunchConfig, m cuda.Meter) (float64, cuda.TimeBreakdown) {
+	return cuda.EstimateTime(dev, &cfg, &m)
+}
+
+func TestTimingComputeBound(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(300), Block: cuda.D1(256)}
+	m := cuda.Meter{
+		ComputeIssues: 1e8,
+		WarpsExecuted: 300 * 8,
+		RunPhases:     300,
+	}
+	secs, bd := estimate(dev, cfg, m)
+	if bd.Bound != "compute" {
+		t.Fatalf("bound = %q, want compute (%+v)", bd.Bound, bd)
+	}
+	// 1e8 issues * 4 cycles / 30 SMs / 1.296 GHz ≈ 10.3 ms + overhead.
+	want := 1e8 * 4 / 30 / dev.ClockHz
+	if secs < want || secs > want*1.2 {
+		t.Errorf("compute-bound time %v, want ≈ %v", secs, want)
+	}
+}
+
+func TestTimingMemoryBoundUsesChipBandwidthWhenBusy(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(3000), Block: cuda.D1(256)}
+	m := cuda.Meter{
+		GlobalLoadTx:    1 << 28, // 8 GiB of 32 B transactions
+		GlobalLoadInstr: 1e6,
+		WarpsExecuted:   3000 * 8,
+		RunPhases:       3000,
+	}
+	secs, bd := estimate(dev, cfg, m)
+	if bd.Bound != "memory" {
+		t.Fatalf("bound = %q, want memory", bd.Bound)
+	}
+	bytes := float64(m.GlobalLoadTx) * 32
+	want := bytes / dev.BandwidthBytesPS
+	if secs < want || secs > want*1.3 {
+		t.Errorf("memory-bound time %v, want ≈ %v", secs, want)
+	}
+}
+
+func TestTimingPerSMBandwidthCap(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	// Same traffic from one block vs from many blocks: the single block
+	// cannot use the whole chip's bandwidth.
+	m := cuda.Meter{GlobalLoadTx: 1 << 24, GlobalLoadInstr: 1e5, WarpsExecuted: 8, RunPhases: 1}
+	one, _ := estimate(dev, cuda.LaunchConfig{Grid: cuda.D1(1), Block: cuda.D1(256)}, m)
+	m.WarpsExecuted = 3000 * 8
+	m.RunPhases = 3000
+	many, _ := estimate(dev, cuda.LaunchConfig{Grid: cuda.D1(3000), Block: cuda.D1(256)}, m)
+	if one <= many {
+		t.Errorf("one-block launch (%v) should be slower than spread launch (%v)", one, many)
+	}
+	ratio := one / many
+	wantRatio := dev.BandwidthBytesPS / dev.PerSMBandwidthBPS
+	if ratio < wantRatio*0.5 {
+		t.Errorf("per-SM cap ratio %v, want around %v", ratio, wantRatio)
+	}
+}
+
+func TestTimingDependentMemoryExposesLatency(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	m := cuda.Meter{
+		GlobalLoadInstr: 1e5,
+		GlobalLoadTx:    1e5,
+		WarpsExecuted:   8,
+		RunPhases:       100,
+	}
+	cfgIndep := cuda.LaunchConfig{Grid: cuda.D1(1), Block: cuda.D1(256)}
+	cfgDep := cfgIndep
+	cfgDep.DependentMemory = true
+	indep, _ := estimate(dev, cfgIndep, m)
+	dep, _ := estimate(dev, cfgDep, m)
+	if dep <= indep {
+		t.Errorf("dependent-memory chain (%v) should exceed phase-based chain (%v)", dep, indep)
+	}
+}
+
+func TestTimingWavesScaleLatency(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	// Occupancy 4 blocks/SM at 256 threads: 120 blocks = 1 wave, 1200 = 10.
+	perBlock := cuda.Meter{
+		ComputeIssues: 1e4, WarpsExecuted: 8, RunPhases: 50, GlobalLoadInstr: 400, GlobalLoadTx: 400,
+	}
+	scale := func(m cuda.Meter, f int64) cuda.Meter {
+		m.ComputeIssues *= float64(f)
+		m.WarpsExecuted *= f
+		m.RunPhases *= float64(f)
+		m.GlobalLoadInstr *= float64(f)
+		m.GlobalLoadTx *= f
+		return m
+	}
+	small, bdS := estimate(dev, cuda.LaunchConfig{Grid: cuda.D1(120), Block: cuda.D1(256)}, scale(perBlock, 120))
+	large, bdL := estimate(dev, cuda.LaunchConfig{Grid: cuda.D1(1200), Block: cuda.D1(256)}, scale(perBlock, 1200))
+	if bdL.LatencySeconds <= bdS.LatencySeconds*5 {
+		t.Errorf("10x waves should raise the latency bound ~10x: %v -> %v",
+			bdS.LatencySeconds, bdL.LatencySeconds)
+	}
+	if large <= small {
+		t.Errorf("10x the blocks should take longer: %v -> %v", small, large)
+	}
+}
+
+func TestTimingOverheadFloor(t *testing.T) {
+	dev := cuda.TeslaM2050()
+	secs, bd := estimate(dev, cuda.LaunchConfig{Grid: cuda.D1(1), Block: cuda.D1(32)}, cuda.Meter{WarpsExecuted: 1})
+	if secs < dev.KernelLaunchSeconds {
+		t.Errorf("time %v below launch overhead %v", secs, dev.KernelLaunchSeconds)
+	}
+	if bd.OverheadSec != dev.KernelLaunchSeconds {
+		t.Errorf("breakdown overhead %v", bd.OverheadSec)
+	}
+}
+
+func TestTimingAtomicEmulationFactor(t *testing.T) {
+	c := cuda.TeslaC1060()
+	mdev := cuda.TeslaM2050()
+	m := cuda.Meter{AtomicOps: 1e6, AtomicInstr: 1e6 / 32, AtomicSerialExtra: 5e5, WarpsExecuted: 800, RunPhases: 100}
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(100), Block: cuda.D1(256)}
+	ct, _ := cuda.EstimateTime(c, &cfg, &m)
+	mt, _ := cuda.EstimateTime(mdev, &cfg, &m)
+	if ct <= mt {
+		t.Errorf("emulated atomics on C1060 (%v) should cost more than native on M2050 (%v)", ct, mt)
+	}
+}
+
+func TestTimingDeterministic(t *testing.T) {
+	dev := cuda.TeslaC1060()
+	cfg := cuda.LaunchConfig{Grid: cuda.D1(64), Block: cuda.D1(128)}
+	m := cuda.Meter{ComputeIssues: 12345, GlobalLoadTx: 777, GlobalLoadInstr: 100, WarpsExecuted: 256, RunPhases: 64}
+	a, _ := cuda.EstimateTime(dev, &cfg, &m)
+	b, _ := cuda.EstimateTime(dev, &cfg, &m)
+	if a != b {
+		t.Error("timing model is not deterministic")
+	}
+}

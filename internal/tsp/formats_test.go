@@ -1,0 +1,154 @@
+package tsp_test
+
+import (
+	"strings"
+	"testing"
+
+	"antgpu/internal/tsp"
+)
+
+func TestParseLowerDiagRow(t *testing.T) {
+	src := `NAME: gr3
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+5 0
+9 7 0
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dist(0, 1) != 5 || in.Dist(0, 2) != 9 || in.Dist(1, 2) != 7 {
+		t.Errorf("lower-diag distances wrong: %d %d %d", in.Dist(0, 1), in.Dist(0, 2), in.Dist(1, 2))
+	}
+}
+
+func TestParseUpperDiagRow(t *testing.T) {
+	src := `DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0 5 9
+0 7
+0
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dist(0, 1) != 5 || in.Dist(0, 2) != 9 || in.Dist(2, 1) != 7 {
+		t.Error("upper-diag distances wrong")
+	}
+}
+
+func TestParseLowerRow(t *testing.T) {
+	src := `DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: LOWER_ROW
+EDGE_WEIGHT_SECTION
+5
+9 7
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dist(1, 0) != 5 || in.Dist(2, 0) != 9 || in.Dist(2, 1) != 7 {
+		t.Error("lower-row distances wrong")
+	}
+}
+
+func TestParseGeoInstance(t *testing.T) {
+	src := `NAME: mini-geo
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: GEO
+NODE_COORD_SECTION
+1 38.24 20.42
+2 39.57 26.15
+3 40.56 25.32
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Type != tsp.Geo {
+		t.Fatalf("type = %s", in.Type)
+	}
+	// All pairwise distances positive and symmetric.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if in.Dist(i, j) <= 0 || in.Dist(i, j) != in.Dist(j, i) {
+				t.Errorf("geo dist(%d,%d) = %d", i, j, in.Dist(i, j))
+			}
+		}
+	}
+}
+
+func TestParseUnsupportedWeightType(t *testing.T) {
+	src := `DIMENSION: 3
+EDGE_WEIGHT_TYPE: EUC_3D
+NODE_COORD_SECTION
+1 0 0
+2 1 1
+3 2 2
+EOF
+`
+	if _, err := tsp.Parse(strings.NewReader(src)); err == nil {
+		t.Error("EUC_3D accepted")
+	}
+}
+
+func TestParseUnsupportedWeightFormat(t *testing.T) {
+	src := `DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_COL
+EDGE_WEIGHT_SECTION
+1 2 3
+EOF
+`
+	if _, err := tsp.Parse(strings.NewReader(src)); err == nil {
+		t.Error("UPPER_COL accepted")
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := tsp.ParseFile("/nonexistent/foo.tsp"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseCeil2D(t *testing.T) {
+	src := `DIMENSION: 3
+EDGE_WEIGHT_TYPE: CEIL_2D
+NODE_COORD_SECTION
+1 0 0
+2 10 10
+3 20 0
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dist(0, 1) != 15 { // ceil(sqrt(200))
+		t.Errorf("ceil dist = %d, want 15", in.Dist(0, 1))
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := tsp.Generate(tsp.GenSpec{Name: "x", N: 2, Type: tsp.Euc2D}); err == nil {
+		t.Error("tiny instance accepted")
+	}
+	if _, err := tsp.Generate(tsp.GenSpec{Name: "x", N: 10, Type: tsp.Explicit}); err == nil {
+		t.Error("explicit generation accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package tsp
+
+import (
+	"fmt"
+
+	"antgpu/internal/rng"
+)
+
+// GenSpec describes a synthetic instance to generate.
+type GenSpec struct {
+	Name     string
+	N        int
+	Type     EdgeWeightType // coordinate-based types only
+	Seed     uint64
+	Width    float64 // coordinate range; default 10000
+	Height   float64 // default Width
+	Clusters int     // 0 = uniform points; otherwise Gaussian-ish clusters
+}
+
+// Generate builds a deterministic synthetic instance from a spec. The same
+// spec always yields the same instance. Points are drawn either uniformly or
+// from a mixture of square clusters, which mimics the structure of drilled-
+// board TSPLIB instances well enough for performance work (everything the
+// reproduced paper measures depends on instance size, not on the optimal
+// tour).
+func Generate(spec GenSpec) (*Instance, error) {
+	if spec.N < 3 {
+		return nil, fmt.Errorf("tsp: generate %q: n = %d too small", spec.Name, spec.N)
+	}
+	if spec.Type == Explicit {
+		return nil, fmt.Errorf("tsp: generate %q: Explicit is not coordinate-based", spec.Name)
+	}
+	w := spec.Width
+	if w <= 0 {
+		w = 10000
+	}
+	h := spec.Height
+	if h <= 0 {
+		h = w
+	}
+	g := rng.Seed(spec.Seed, 0xace)
+	coords := make([]Point, spec.N)
+
+	if spec.Clusters <= 0 {
+		for i := range coords {
+			coords[i] = Point{X: g.Float64() * w, Y: g.Float64() * h}
+		}
+	} else {
+		centers := make([]Point, spec.Clusters)
+		for i := range centers {
+			centers[i] = Point{X: g.Float64() * w, Y: g.Float64() * h}
+		}
+		spread := w / float64(spec.Clusters)
+		for i := range coords {
+			c := centers[g.Intn(spec.Clusters)]
+			// Sum of three uniforms approximates a Gaussian cheaply and
+			// deterministically.
+			dx := (g.Float64() + g.Float64() + g.Float64() - 1.5) * spread
+			dy := (g.Float64() + g.Float64() + g.Float64() - 1.5) * spread
+			coords[i] = Point{X: clamp(c.X+dx, 0, w), Y: clamp(c.Y+dy, 0, h)}
+		}
+	}
+	in, err := New(spec.Name, spec.Type, coords)
+	if err != nil {
+		return nil, err
+	}
+	in.Comment = fmt.Sprintf("synthetic instance (seed %d)", spec.Seed)
+	return in, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PaperBenchmarks lists the TSPLIB instances of the paper's evaluation in
+// ascending size order.
+var PaperBenchmarks = []string{
+	"att48", "kroC100", "a280", "pcb442", "d657", "pr1002", "pr2392",
+}
+
+// paperSpecs defines deterministic synthetic stand-ins for the paper's
+// TSPLIB instances: same name, same size, same distance function, and a
+// point distribution of the same flavour (clustered for the drilling and
+// circuit-board instances, spread-out for the rest). The real TSPLIB files
+// are proprietary-free but not embeddable here; any of them can be used
+// instead via ParseFile, and everything measured depends only on n.
+var paperSpecs = map[string]GenSpec{
+	"att48":   {Name: "att48", N: 48, Type: Att, Seed: 48, Width: 10000},
+	"kroC100": {Name: "kroC100", N: 100, Type: Euc2D, Seed: 100, Width: 4000},
+	"a280":    {Name: "a280", N: 280, Type: Euc2D, Seed: 280, Width: 300, Clusters: 6},
+	"pcb442":  {Name: "pcb442", N: 442, Type: Euc2D, Seed: 442, Width: 4000, Clusters: 12},
+	"d657":    {Name: "d657", N: 657, Type: Euc2D, Seed: 657, Width: 4000, Clusters: 9},
+	"pr1002":  {Name: "pr1002", N: 1002, Type: Euc2D, Seed: 1002, Width: 16000},
+	"pr2392":  {Name: "pr2392", N: 2392, Type: Euc2D, Seed: 2392, Width: 16000, Clusters: 24},
+}
+
+// LoadBenchmark returns the named paper benchmark instance (synthetic
+// stand-in, deterministic). Unknown names are an error.
+func LoadBenchmark(name string) (*Instance, error) {
+	spec, ok := paperSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("tsp: unknown benchmark %q (have %v)", name, PaperBenchmarks)
+	}
+	return Generate(spec)
+}
+
+// MustLoadBenchmark is LoadBenchmark for known-good names; it panics on
+// error.
+func MustLoadBenchmark(name string) *Instance {
+	in, err := LoadBenchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,188 @@
+// Package tsp provides the Travelling Salesman Problem substrate of the
+// reproduction: TSPLIB file parsing and writing, the TSPLIB distance
+// functions, full distance matrices, nearest-neighbour lists, tour
+// utilities, and a deterministic synthetic generator standing in for the
+// TSPLIB benchmark files used by the paper (att48, kroC100, a280, pcb442,
+// d657, pr1002, pr2392).
+package tsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeWeightType enumerates the TSPLIB distance functions supported.
+type EdgeWeightType string
+
+const (
+	// Euc2D is TSPLIB EUC_2D: Euclidean distance rounded to nearest int.
+	Euc2D EdgeWeightType = "EUC_2D"
+	// Ceil2D is TSPLIB CEIL_2D: Euclidean distance rounded up.
+	Ceil2D EdgeWeightType = "CEIL_2D"
+	// Att is TSPLIB ATT: the pseudo-Euclidean distance of att48/att532.
+	Att EdgeWeightType = "ATT"
+	// Geo is TSPLIB GEO: geographical distance from DDD.MM coordinates.
+	Geo EdgeWeightType = "GEO"
+	// Explicit is TSPLIB EXPLICIT: distances from an edge weight matrix.
+	Explicit EdgeWeightType = "EXPLICIT"
+)
+
+// Point is a city location.
+type Point struct {
+	X, Y float64
+}
+
+// Instance is a symmetric TSP instance.
+type Instance struct {
+	Name    string
+	Comment string
+	Type    EdgeWeightType
+	Coords  []Point // empty for Explicit instances
+	matrix  []int32 // full n*n distance matrix
+	n       int
+}
+
+// N returns the number of cities.
+func (in *Instance) N() int { return in.n }
+
+// Dist returns the distance between cities i and j.
+func (in *Instance) Dist(i, j int) int32 { return in.matrix[i*in.n+j] }
+
+// Matrix returns the full row-major n*n distance matrix. Callers must not
+// modify it.
+func (in *Instance) Matrix() []int32 { return in.matrix }
+
+// New builds an instance from coordinates using the given distance function.
+func New(name string, typ EdgeWeightType, coords []Point) (*Instance, error) {
+	n := len(coords)
+	if n < 3 {
+		return nil, fmt.Errorf("tsp: instance %q has %d cities, need at least 3", name, n)
+	}
+	dist, err := distanceFunc(typ)
+	if err != nil {
+		return nil, fmt.Errorf("tsp: instance %q: %w", name, err)
+	}
+	in := &Instance{Name: name, Type: typ, Coords: coords, n: n}
+	in.matrix = make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		row := in.matrix[i*n:]
+		for j := i + 1; j < n; j++ {
+			d := dist(coords[i], coords[j])
+			row[j] = d
+			in.matrix[j*n+i] = d
+		}
+	}
+	return in, nil
+}
+
+// NewExplicit builds an instance from a full distance matrix. The matrix is
+// symmetrised from its upper triangle.
+func NewExplicit(name string, n int, matrix []int32) (*Instance, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("tsp: instance %q has %d cities, need at least 3", name, n)
+	}
+	if len(matrix) != n*n {
+		return nil, fmt.Errorf("tsp: instance %q: matrix has %d entries, want %d", name, len(matrix), n*n)
+	}
+	m := make([]int32, n*n)
+	copy(m, matrix)
+	for i := 0; i < n; i++ {
+		m[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			m[j*n+i] = m[i*n+j]
+		}
+	}
+	return &Instance{Name: name, Type: Explicit, matrix: m, n: n}, nil
+}
+
+// distanceFunc returns the TSPLIB distance function for a weight type.
+func distanceFunc(typ EdgeWeightType) (func(a, b Point) int32, error) {
+	switch typ {
+	case Euc2D:
+		return DistEuc2D, nil
+	case Ceil2D:
+		return DistCeil2D, nil
+	case Att:
+		return DistAtt, nil
+	case Geo:
+		return DistGeo, nil
+	default:
+		return nil, fmt.Errorf("unsupported edge weight type %q", typ)
+	}
+}
+
+// DistEuc2D is the TSPLIB EUC_2D distance: round(sqrt(dx^2+dy^2)).
+func DistEuc2D(a, b Point) int32 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return int32(math.Sqrt(dx*dx+dy*dy) + 0.5)
+}
+
+// DistCeil2D is the TSPLIB CEIL_2D distance: ceil(sqrt(dx^2+dy^2)).
+func DistCeil2D(a, b Point) int32 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return int32(math.Ceil(math.Sqrt(dx*dx + dy*dy)))
+}
+
+// DistAtt is the TSPLIB ATT pseudo-Euclidean distance used by att48.
+func DistAtt(a, b Point) int32 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	r := math.Sqrt((dx*dx + dy*dy) / 10.0)
+	t := int32(r + 0.5)
+	if float64(t) < r {
+		return t + 1
+	}
+	return t
+}
+
+// DistGeo is the TSPLIB GEO geographical distance. Coordinates are in
+// DDD.MM (degrees.minutes) format.
+func DistGeo(a, b Point) int32 {
+	const rrr = 6378.388
+	lat1, lon1 := geoRad(a.X), geoRad(a.Y)
+	lat2, lon2 := geoRad(b.X), geoRad(b.Y)
+	q1 := math.Cos(lon1 - lon2)
+	q2 := math.Cos(lat1 - lat2)
+	q3 := math.Cos(lat1 + lat2)
+	return int32(rrr*math.Acos(0.5*((1.0+q1)*q2-(1.0-q1)*q3)) + 1.0)
+}
+
+func geoRad(x float64) float64 {
+	deg := math.Trunc(x)
+	min := x - deg
+	return math.Pi * (deg + 5.0*min/3.0) / 180.0
+}
+
+// TourLength returns the length of the closed tour visiting the cities in
+// order (returning from the last city to the first).
+func (in *Instance) TourLength(tour []int32) int64 {
+	if len(tour) == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < len(tour)-1; i++ {
+		sum += int64(in.Dist(int(tour[i]), int(tour[i+1])))
+	}
+	sum += int64(in.Dist(int(tour[len(tour)-1]), int(tour[0])))
+	return sum
+}
+
+// ValidTour reports whether tour is a permutation of 0..n-1.
+func (in *Instance) ValidTour(tour []int32) error {
+	if len(tour) != in.n {
+		return fmt.Errorf("tsp: tour has %d cities, want %d", len(tour), in.n)
+	}
+	seen := make([]bool, in.n)
+	for pos, c := range tour {
+		if c < 0 || int(c) >= in.n {
+			return fmt.Errorf("tsp: tour position %d holds invalid city %d", pos, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("tsp: city %d visited twice", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}

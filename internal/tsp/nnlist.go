@@ -1,0 +1,64 @@
+package tsp
+
+import "sort"
+
+// NNList returns, for each city, its nn nearest neighbours ordered by
+// increasing distance (ties broken by city index for determinism). The
+// result is a row-major n x nn matrix of city indices. The paper's versions
+// (4)–(6) restrict the probabilistic choice to such a list with nn = 30.
+func (in *Instance) NNList(nn int) []int32 {
+	n := in.n
+	if nn > n-1 {
+		nn = n - 1
+	}
+	list := make([]int32, n*nn)
+	idx := make([]int32, n-1)
+	for i := 0; i < n; i++ {
+		k := 0
+		for j := 0; j < n; j++ {
+			if j != i {
+				idx[k] = int32(j)
+				k++
+			}
+		}
+		row := in.matrix[i*n:]
+		sort.Slice(idx, func(a, b int) bool {
+			da, db := row[idx[a]], row[idx[b]]
+			if da != db {
+				return da < db
+			}
+			return idx[a] < idx[b]
+		})
+		copy(list[i*nn:(i+1)*nn], idx[:nn])
+	}
+	return list
+}
+
+// NearestNeighbourTour builds a greedy nearest-neighbour tour starting at
+// city start, used to compute the initial pheromone level τ0 = m / C^nn as
+// recommended by Dorigo & Stützle.
+func (in *Instance) NearestNeighbourTour(start int) []int32 {
+	n := in.n
+	tour := make([]int32, 0, n)
+	visited := make([]bool, n)
+	cur := start
+	tour = append(tour, int32(cur))
+	visited[cur] = true
+	for len(tour) < n {
+		best := -1
+		var bestD int32
+		row := in.matrix[cur*n:]
+		for j := 0; j < n; j++ {
+			if visited[j] {
+				continue
+			}
+			if best < 0 || row[j] < bestD {
+				best, bestD = j, row[j]
+			}
+		}
+		cur = best
+		visited[cur] = true
+		tour = append(tour, int32(cur))
+	}
+	return tour
+}

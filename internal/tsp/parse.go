@@ -1,0 +1,267 @@
+package tsp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a TSPLIB-format instance. Supported specification entries:
+// NAME, TYPE (TSP), COMMENT, DIMENSION, EDGE_WEIGHT_TYPE (EUC_2D, CEIL_2D,
+// ATT, GEO, EXPLICIT), EDGE_WEIGHT_FORMAT (FULL_MATRIX, UPPER_ROW,
+// UPPER_DIAG_ROW, LOWER_DIAG_ROW), NODE_COORD_SECTION, EDGE_WEIGHT_SECTION.
+func Parse(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var (
+		name    string
+		comment string
+		typ     EdgeWeightType
+		format  string
+		dim     int
+		coords  []Point
+		weights []int32
+	)
+
+	readFields := func(line string) []string { return strings.Fields(line) }
+
+	section := ""
+	coordCount := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		if upper == "EOF" {
+			break
+		}
+
+		switch section {
+		case "NODE_COORD_SECTION":
+			f := readFields(line)
+			if len(f) != 3 {
+				// A keyword ends the section.
+				section = ""
+			} else {
+				x, errX := strconv.ParseFloat(f[1], 64)
+				y, errY := strconv.ParseFloat(f[2], 64)
+				if errX != nil || errY != nil {
+					return nil, fmt.Errorf("tsp: bad coordinate line %q", line)
+				}
+				if coordCount >= dim {
+					return nil, fmt.Errorf("tsp: more coordinates than DIMENSION %d", dim)
+				}
+				coords[coordCount] = Point{X: x, Y: y}
+				coordCount++
+				continue
+			}
+		case "EDGE_WEIGHT_SECTION":
+			f := readFields(line)
+			numeric := len(f) > 0
+			for _, tok := range f {
+				if _, err := strconv.ParseFloat(tok, 64); err != nil {
+					numeric = false
+					break
+				}
+			}
+			if numeric {
+				for _, tok := range f {
+					v, _ := strconv.ParseFloat(tok, 64)
+					weights = append(weights, int32(v))
+				}
+				continue
+			}
+			section = ""
+		}
+
+		// Specification lines (KEY : VALUE) and section keywords.
+		key, val := splitSpec(line)
+		switch key {
+		case "NAME":
+			name = val
+		case "COMMENT":
+			if comment == "" {
+				comment = val
+			}
+		case "TYPE":
+			if v := strings.ToUpper(val); v != "TSP" && v != "ATSP" && v != "" {
+				return nil, fmt.Errorf("tsp: unsupported problem TYPE %q", val)
+			}
+		case "DIMENSION":
+			d, err := strconv.Atoi(val)
+			if err != nil || d < 1 {
+				return nil, fmt.Errorf("tsp: bad DIMENSION %q", val)
+			}
+			dim = d
+			coords = make([]Point, dim)
+		case "EDGE_WEIGHT_TYPE":
+			typ = EdgeWeightType(strings.ToUpper(val))
+		case "EDGE_WEIGHT_FORMAT":
+			format = strings.ToUpper(val)
+		case "NODE_COORD_SECTION":
+			if dim == 0 {
+				return nil, fmt.Errorf("tsp: NODE_COORD_SECTION before DIMENSION")
+			}
+			section = "NODE_COORD_SECTION"
+		case "EDGE_WEIGHT_SECTION":
+			if dim == 0 {
+				return nil, fmt.Errorf("tsp: EDGE_WEIGHT_SECTION before DIMENSION")
+			}
+			section = "EDGE_WEIGHT_SECTION"
+		case "DISPLAY_DATA_SECTION", "DISPLAY_DATA_TYPE", "NODE_COORD_TYPE":
+			// Ignored.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsp: read: %w", err)
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("tsp: missing DIMENSION")
+	}
+
+	if typ == Explicit {
+		matrix, err := expandWeights(dim, format, weights)
+		if err != nil {
+			return nil, err
+		}
+		in, err := NewExplicit(name, dim, matrix)
+		if err != nil {
+			return nil, err
+		}
+		in.Comment = comment
+		return in, nil
+	}
+
+	if coordCount != dim {
+		return nil, fmt.Errorf("tsp: got %d coordinates, DIMENSION says %d", coordCount, dim)
+	}
+	in, err := New(name, typ, coords)
+	if err != nil {
+		return nil, err
+	}
+	in.Comment = comment
+	return in, nil
+}
+
+// ParseFile reads a TSPLIB instance from a file.
+func ParseFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func splitSpec(line string) (key, val string) {
+	if i := strings.IndexByte(line, ':'); i >= 0 {
+		return strings.ToUpper(strings.TrimSpace(line[:i])), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(strings.TrimSpace(line)), ""
+}
+
+// expandWeights converts a TSPLIB EDGE_WEIGHT_SECTION token stream into a
+// full matrix according to the declared format.
+func expandWeights(n int, format string, w []int32) ([]int32, error) {
+	m := make([]int32, n*n)
+	need := map[string]int{
+		"FULL_MATRIX":    n * n,
+		"UPPER_ROW":      n * (n - 1) / 2,
+		"LOWER_ROW":      n * (n - 1) / 2,
+		"UPPER_DIAG_ROW": n * (n + 1) / 2,
+		"LOWER_DIAG_ROW": n * (n + 1) / 2,
+	}
+	if format == "" {
+		format = "FULL_MATRIX"
+	}
+	want, ok := need[format]
+	if !ok {
+		return nil, fmt.Errorf("tsp: unsupported EDGE_WEIGHT_FORMAT %q", format)
+	}
+	if len(w) != want {
+		return nil, fmt.Errorf("tsp: EDGE_WEIGHT_SECTION has %d entries, %s with n=%d needs %d",
+			len(w), format, n, want)
+	}
+	k := 0
+	switch format {
+	case "FULL_MATRIX":
+		copy(m, w)
+	case "UPPER_ROW":
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m[i*n+j] = w[k]
+				k++
+			}
+		}
+	case "LOWER_ROW":
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				m[i*n+j] = w[k]
+				k++
+			}
+		}
+	case "UPPER_DIAG_ROW":
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				m[i*n+j] = w[k]
+				k++
+			}
+		}
+	case "LOWER_DIAG_ROW":
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				m[i*n+j] = w[k]
+				k++
+			}
+		}
+	}
+	// NewExplicit symmetrises from the upper triangle, so mirror the lower
+	// formats up before handing the matrix over.
+	if format == "LOWER_ROW" || format == "LOWER_DIAG_ROW" {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m[i*n+j] = m[j*n+i]
+			}
+		}
+	}
+	return m, nil
+}
+
+// Write emits the instance in TSPLIB format. Coordinate instances are
+// written with NODE_COORD_SECTION; explicit instances with a FULL_MATRIX
+// EDGE_WEIGHT_SECTION.
+func Write(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "NAME : %s\n", in.Name)
+	fmt.Fprintf(bw, "TYPE : TSP\n")
+	if in.Comment != "" {
+		fmt.Fprintf(bw, "COMMENT : %s\n", in.Comment)
+	}
+	fmt.Fprintf(bw, "DIMENSION : %d\n", in.n)
+	fmt.Fprintf(bw, "EDGE_WEIGHT_TYPE : %s\n", in.Type)
+	if in.Type == Explicit {
+		fmt.Fprintf(bw, "EDGE_WEIGHT_FORMAT : FULL_MATRIX\n")
+		fmt.Fprintf(bw, "EDGE_WEIGHT_SECTION\n")
+		for i := 0; i < in.n; i++ {
+			for j := 0; j < in.n; j++ {
+				if j > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprintf(bw, "%d", in.Dist(i, j))
+			}
+			fmt.Fprintln(bw)
+		}
+	} else {
+		fmt.Fprintf(bw, "NODE_COORD_SECTION\n")
+		for i, p := range in.Coords {
+			fmt.Fprintf(bw, "%d %g %g\n", i+1, p.X, p.Y)
+		}
+	}
+	fmt.Fprintln(bw, "EOF")
+	return bw.Flush()
+}

@@ -1,0 +1,391 @@
+package tsp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"antgpu/internal/tsp"
+)
+
+func square(t *testing.T) *tsp.Instance {
+	t.Helper()
+	in, err := tsp.New("square", tsp.Euc2D, []tsp.Point{
+		{X: 0, Y: 0}, {X: 0, Y: 10}, {X: 10, Y: 10}, {X: 10, Y: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEuc2DDistances(t *testing.T) {
+	in := square(t)
+	if d := in.Dist(0, 1); d != 10 {
+		t.Errorf("Dist(0,1) = %d, want 10", d)
+	}
+	if d := in.Dist(0, 2); d != 14 { // sqrt(200) = 14.14 rounds to 14
+		t.Errorf("Dist(0,2) = %d, want 14", d)
+	}
+	if d := in.Dist(2, 0); d != in.Dist(0, 2) {
+		t.Error("matrix not symmetric")
+	}
+	if d := in.Dist(3, 3); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestCeil2D(t *testing.T) {
+	a, b := tsp.Point{X: 0, Y: 0}, tsp.Point{X: 10, Y: 10}
+	if d := tsp.DistCeil2D(a, b); d != 15 { // ceil(14.14)
+		t.Errorf("DistCeil2D = %d, want 15", d)
+	}
+}
+
+func TestAttDistanceKnownValue(t *testing.T) {
+	// ATT: rij = sqrt((dx^2+dy^2)/10); tij = round(rij); if tij < rij -> +1.
+	a, b := tsp.Point{X: 0, Y: 0}, tsp.Point{X: 10, Y: 0}
+	// r = sqrt(100/10) = sqrt(10) = 3.162..., t = 3 < r -> 4.
+	if d := tsp.DistAtt(a, b); d != 4 {
+		t.Errorf("DistAtt = %d, want 4", d)
+	}
+}
+
+func TestGeoDistancePositiveAndSymmetric(t *testing.T) {
+	a := tsp.Point{X: 38.24, Y: 20.42} // TSPLIB ulysses-style DDD.MM
+	b := tsp.Point{X: 39.57, Y: 26.15}
+	d1, d2 := tsp.DistGeo(a, b), tsp.DistGeo(b, a)
+	if d1 <= 0 || d1 != d2 {
+		t.Errorf("DistGeo = %d / %d", d1, d2)
+	}
+}
+
+func TestTourLengthSquare(t *testing.T) {
+	in := square(t)
+	if l := in.TourLength([]int32{0, 1, 2, 3}); l != 40 {
+		t.Errorf("perimeter tour length = %d, want 40", l)
+	}
+	if l := in.TourLength([]int32{0, 2, 1, 3}); l != 48 { // two diagonals (14 each) + two sides
+		t.Errorf("crossing tour length = %d, want 48", l)
+	}
+}
+
+func TestValidTour(t *testing.T) {
+	in := square(t)
+	if err := in.ValidTour([]int32{0, 1, 2, 3}); err != nil {
+		t.Errorf("valid tour rejected: %v", err)
+	}
+	if err := in.ValidTour([]int32{0, 1, 2}); err == nil {
+		t.Error("short tour accepted")
+	}
+	if err := in.ValidTour([]int32{0, 1, 2, 2}); err == nil {
+		t.Error("duplicate city accepted")
+	}
+	if err := in.ValidTour([]int32{0, 1, 2, 7}); err == nil {
+		t.Error("out-of-range city accepted")
+	}
+}
+
+func TestNewRejectsTinyInstances(t *testing.T) {
+	if _, err := tsp.New("tiny", tsp.Euc2D, []tsp.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}); err == nil {
+		t.Error("2-city instance accepted")
+	}
+}
+
+func TestNNListOrderedAndFeasible(t *testing.T) {
+	in := tsp.MustLoadBenchmark("att48")
+	const nn = 10
+	list := in.NNList(nn)
+	if len(list) != in.N()*nn {
+		t.Fatalf("NNList size = %d, want %d", len(list), in.N()*nn)
+	}
+	for i := 0; i < in.N(); i++ {
+		prev := int32(-1)
+		seen := map[int32]bool{int32(i): true}
+		for k := 0; k < nn; k++ {
+			j := list[i*nn+k]
+			if seen[j] {
+				t.Fatalf("city %d NN list repeats %d", i, j)
+			}
+			seen[j] = true
+			d := in.Dist(i, int(j))
+			if prev >= 0 && d < prev {
+				t.Fatalf("city %d NN list not sorted at position %d", i, k)
+			}
+			prev = d
+		}
+		// The k-th neighbour must be at least as close as any city not in
+		// the list.
+		worst := in.Dist(i, int(list[i*nn+nn-1]))
+		for j := 0; j < in.N(); j++ {
+			if j == i || seen[int32(j)] {
+				continue
+			}
+			if in.Dist(i, j) < worst {
+				t.Fatalf("city %d: non-listed city %d closer than worst listed", i, j)
+			}
+		}
+	}
+}
+
+func TestNNListClampsToNMinus1(t *testing.T) {
+	in := square(t)
+	list := in.NNList(50)
+	if len(list) != 4*3 {
+		t.Errorf("clamped NN list size = %d, want 12", len(list))
+	}
+}
+
+func TestNearestNeighbourTourValid(t *testing.T) {
+	in := tsp.MustLoadBenchmark("kroC100")
+	tour := in.NearestNeighbourTour(0)
+	if err := in.ValidTour(tour); err != nil {
+		t.Fatalf("NN tour invalid: %v", err)
+	}
+	if tour[0] != 0 {
+		t.Errorf("NN tour starts at %d, want 0", tour[0])
+	}
+}
+
+// PROPERTY: every generated instance has a symmetric, zero-diagonal,
+// non-negative matrix, and the NN tour is always valid.
+func TestGenerateInstanceInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint8, clustered bool) bool {
+		n := int(rawN)%60 + 5
+		clusters := 0
+		if clustered {
+			clusters = 3
+		}
+		in, err := tsp.Generate(tsp.GenSpec{
+			Name: "prop", N: n, Type: tsp.Euc2D, Seed: seed, Width: 1000, Clusters: clusters,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if in.Dist(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if in.Dist(i, j) != in.Dist(j, i) || in.Dist(i, j) < 0 {
+					return false
+				}
+			}
+		}
+		return in.ValidTour(in.NearestNeighbourTour(0)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := tsp.GenSpec{Name: "d", N: 50, Type: tsp.Euc2D, Seed: 7, Clusters: 4}
+	a, err := tsp.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tsp.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("coordinate %d differs between identical specs", i)
+		}
+	}
+}
+
+func TestPaperBenchmarkSizes(t *testing.T) {
+	want := map[string]int{
+		"att48": 48, "kroC100": 100, "a280": 280, "pcb442": 442,
+		"d657": 657, "pr1002": 1002, "pr2392": 2392,
+	}
+	for _, name := range tsp.PaperBenchmarks {
+		in, err := tsp.LoadBenchmark(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if in.N() != want[name] {
+			t.Errorf("%s has %d cities, want %d", name, in.N(), want[name])
+		}
+		if name == "att48" && in.Type != tsp.Att {
+			t.Error("att48 must use ATT distances")
+		}
+	}
+	if _, err := tsp.LoadBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestParseNodeCoordInstance(t *testing.T) {
+	src := `NAME : demo
+TYPE : TSP
+COMMENT : four cities
+DIMENSION : 4
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0 0
+2 0 10
+3 10 10
+4 10 0
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "demo" || in.N() != 4 || in.Comment != "four cities" {
+		t.Errorf("parsed %q n=%d comment=%q", in.Name, in.N(), in.Comment)
+	}
+	if in.Dist(0, 1) != 10 {
+		t.Errorf("Dist(0,1) = %d", in.Dist(0, 1))
+	}
+}
+
+func TestParseExplicitUpperRow(t *testing.T) {
+	src := `NAME: ex
+TYPE: TSP
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_ROW
+EDGE_WEIGHT_SECTION
+1 2 3
+4 5
+6
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dist(0, 1) != 1 || in.Dist(0, 3) != 3 || in.Dist(2, 3) != 6 {
+		t.Errorf("explicit distances wrong: %d %d %d", in.Dist(0, 1), in.Dist(0, 3), in.Dist(2, 3))
+	}
+	if in.Dist(3, 2) != in.Dist(2, 3) {
+		t.Error("explicit matrix not symmetrised")
+	}
+}
+
+func TestParseExplicitFullMatrix(t *testing.T) {
+	src := `DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 5 9
+5 0 7
+9 7 0
+EOF
+`
+	in, err := tsp.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dist(0, 2) != 9 || in.Dist(1, 2) != 7 {
+		t.Error("full matrix distances wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing dimension": "NAME: x\nEOF\n",
+		"coords before dim": "NODE_COORD_SECTION\n1 0 0\nEOF\n",
+		"bad dimension":     "DIMENSION: zero\nEOF\n",
+		"too few coords":    "DIMENSION: 4\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\nEOF\n",
+		"bad weight count":  "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n1\nEOF\n",
+		"bad type":          "TYPE: SOP\nDIMENSION: 3\nEOF\n",
+	}
+	for name, src := range cases {
+		if _, err := tsp.Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTripCoords(t *testing.T) {
+	orig := tsp.MustLoadBenchmark("att48")
+	var buf bytes.Buffer
+	if err := tsp.Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tsp.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.Name != orig.Name || back.Type != orig.Type {
+		t.Fatalf("roundtrip changed identity: %s %d %s", back.Name, back.N(), back.Type)
+	}
+	for i := 0; i < orig.N(); i++ {
+		for j := 0; j < orig.N(); j++ {
+			if orig.Dist(i, j) != back.Dist(i, j) {
+				t.Fatalf("Dist(%d,%d) changed: %d -> %d", i, j, orig.Dist(i, j), back.Dist(i, j))
+			}
+		}
+	}
+}
+
+func TestWriteParseRoundTripExplicit(t *testing.T) {
+	orig, err := tsp.NewExplicit("ex", 4, []int32{
+		0, 1, 2, 3,
+		1, 0, 4, 5,
+		2, 4, 0, 6,
+		3, 5, 6, 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tsp.Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tsp.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if orig.Dist(i, j) != back.Dist(i, j) {
+				t.Fatalf("Dist(%d,%d): %d -> %d", i, j, orig.Dist(i, j), back.Dist(i, j))
+			}
+		}
+	}
+}
+
+// PROPERTY: Write/Parse round-trips arbitrary generated instances.
+func TestWriteParseRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := tsp.Generate(tsp.GenSpec{Name: "rt", N: 20, Type: tsp.Euc2D, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if tsp.Write(&buf, in) != nil {
+			return false
+		}
+		back, err := tsp.Parse(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < in.N(); i++ {
+			for j := 0; j < in.N(); j++ {
+				if in.Dist(i, j) != back.Dist(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewExplicitValidation(t *testing.T) {
+	if _, err := tsp.NewExplicit("bad", 4, []int32{1, 2, 3}); err == nil {
+		t.Error("wrong-size matrix accepted")
+	}
+	if _, err := tsp.NewExplicit("bad", 2, []int32{0, 1, 1, 0}); err == nil {
+		t.Error("tiny instance accepted")
+	}
+}
