@@ -37,6 +37,7 @@ import (
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
+	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
 
@@ -59,6 +60,12 @@ type (
 	PherVersion = core.PherVersion
 	// CPUModel converts instrumented CPU meters into deterministic times.
 	CPUModel = aco.CPUModel
+	// Trace is a profiling collector: every kernel launch and algorithm
+	// phase on one simulated timeline, exportable as a Chrome trace-event
+	// JSON (WriteChromeTrace) or a per-kernel summary (WriteSummary).
+	Trace = trace.Collector
+	// KernelSummary is one aggregated per-kernel row of a Trace summary.
+	KernelSummary = trace.KernelSummary
 )
 
 // Devices of the paper's evaluation.
@@ -187,6 +194,11 @@ type SolveOptions struct {
 	// AS + local-search configuration of ACOTSP. Supported for
 	// AlgorithmAS on both backends.
 	LocalSearch bool
+	// Profile records every kernel launch and algorithm phase on a
+	// simulated timeline; the collector is returned in Result.Trace. The
+	// run stays deterministic: profiling only observes, it never perturbs
+	// the simulated clock or the tours.
+	Profile bool
 }
 
 // Result reports a Solve run.
@@ -196,6 +208,21 @@ type Result struct {
 	// SimulatedSeconds is the accumulated simulated GPU time (GPU backend)
 	// or the modelled CPU time (CPU backend) of all iterations.
 	SimulatedSeconds float64
+	// Trace holds the profiling timeline when SolveOptions.Profile is set.
+	Trace *Trace
+}
+
+// NewTrace returns an empty profiling collector for callers that drive an
+// Engine or Colony directly instead of going through Solve.
+func NewTrace() *Trace { return trace.NewCollector() }
+
+// newTracer returns a fresh profiling collector, or nil when profiling is
+// off (a nil tracer disables all span and observer hooks).
+func newTracer(opts SolveOptions) *trace.Collector {
+	if !opts.Profile {
+		return nil
+	}
+	return trace.NewCollector()
 }
 
 // Solve runs the Ant System on the instance and returns the best tour
@@ -221,6 +248,8 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr := newTracer(opts)
+		c.Tracer = tr
 		c.ResetMeters()
 		var tour []int32
 		var l int64
@@ -238,7 +267,7 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 		total := c.ConstructMeter
 		total.Add(&c.PheromoneMeter)
 		total.Add(&c.ChoiceMeter)
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
 		dev := opts.Device
 		if dev == nil {
@@ -247,6 +276,10 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 		e, err := core.NewEngine(dev, in, opts.Params)
 		if err != nil {
 			return nil, err
+		}
+		tr := newTracer(opts)
+		if tr != nil {
+			e.SetTracer(tr)
 		}
 		tv := opts.Tour
 		if tv == 0 {
@@ -278,7 +311,7 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 				return nil, err
 			}
 		}
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}
@@ -297,13 +330,15 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr := newTracer(opts)
+		c.Tracer = tr
 		c.ResetMeters()
 		tour, l := c.Run(opts.Variant, opts.Iterations)
 		cpu := aco.DefaultCPU()
 		total := c.ConstructMeter
 		total.Add(&c.PheromoneMeter)
 		total.Add(&c.ChoiceMeter)
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
 		dev := opts.Device
 		if dev == nil {
@@ -313,6 +348,10 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr := newTracer(opts)
+		if tr != nil {
+			e.SetTracer(tr)
+		}
 		if opts.Tour != 0 {
 			e.SetTourVersion(opts.Tour)
 		}
@@ -320,7 +359,7 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}
@@ -329,6 +368,7 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 // solveVariant runs the Elitist or Rank-based Ant System on either backend
 // with the default variant parameters (e = m, w = 6).
 func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
+	tr := newTracer(opts)
 	switch opts.Backend {
 	case BackendCPU:
 		var run func() ([]int32, int64, *aco.Colony, error)
@@ -337,6 +377,7 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			c.Tracer = tr
 			run = func() ([]int32, int64, *aco.Colony, error) {
 				tour, l := c.Run(opts.Variant, opts.Iterations)
 				return tour, l, c.Colony, nil
@@ -346,6 +387,7 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			c.Tracer = tr
 			run = func() ([]int32, int64, *aco.Colony, error) {
 				tour, l := c.Run(opts.Variant, opts.Iterations)
 				return tour, l, c.Colony, nil
@@ -359,7 +401,7 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 		total := col.ConstructMeter
 		total.Add(&col.PheromoneMeter)
 		total.Add(&col.ChoiceMeter)
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
 		dev := opts.Device
 		if dev == nil {
@@ -372,6 +414,9 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 		if opts.Algorithm == AlgorithmEAS {
 			var e *core.EASEngine
 			if e, err = core.NewEASEngine(dev, in, opts.Params, 0); err == nil {
+				if tr != nil {
+					e.SetTracer(tr)
+				}
 				if opts.Tour != 0 {
 					e.SetTourVersion(opts.Tour)
 				}
@@ -380,6 +425,9 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 		} else {
 			var r *core.RankEngine
 			if r, err = core.NewRankEngine(dev, in, opts.Params, 0); err == nil {
+				if tr != nil {
+					r.SetTracer(tr)
+				}
 				if opts.Tour != 0 {
 					r.SetTourVersion(opts.Tour)
 				}
@@ -389,7 +437,7 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}
@@ -408,13 +456,15 @@ func solveACS(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr := newTracer(opts)
+		c.Tracer = tr
 		c.ResetMeters()
 		tour, l := c.Run(opts.Iterations)
 		cpu := aco.DefaultCPU()
 		total := c.ConstructMeter
 		total.Add(&c.PheromoneMeter)
 		total.Add(&c.ChoiceMeter)
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total)}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
 		dev := opts.Device
 		if dev == nil {
@@ -424,11 +474,15 @@ func solveACS(in *Instance, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr := newTracer(opts)
+		if tr != nil {
+			e.SetTracer(tr)
+		}
 		tour, l, secs, err := e.Run(opts.Iterations)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs}, nil
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}

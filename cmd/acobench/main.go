@@ -12,35 +12,56 @@
 //	acobench -budget 100000000    # per-launch lane-op sampling budget
 //	acobench -csv                 # CSV instead of aligned text
 //	acobench -paper               # print the paper's published values too
+//	acobench -profile             # per-kernel profile of one AS iteration
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"antgpu/internal/aco"
 	"antgpu/internal/bench"
+	"antgpu/internal/core"
 	"antgpu/internal/cuda"
+	"antgpu/internal/trace"
+	"antgpu/internal/tsp"
 )
 
 func main() {
-	var (
-		table    = flag.String("table", "", "table to regenerate: 1, 2, 3 or 4")
-		figure   = flag.String("figure", "", "figure to regenerate: 4a, 4b or 5")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		maxN     = flag.Int("maxn", 0, "drop instances with more than this many cities (0 = keep all)")
-		budget   = flag.Int64("budget", 0, "per-launch lane-operation sampling budget (0 = default)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		paper    = flag.Bool("paper", false, "also print the paper's published values")
-		ablate   = flag.String("ablate", "", "ablation study: theta, block or nn")
-		quality  = flag.Int("quality", 0, "solution-quality table with this many iterations (0 = off)")
-		converge = flag.String("converge", "", "convergence series on this instance (e.g. kroC100)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acobench:", err)
+		os.Exit(1)
+	}
+}
 
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("acobench", flag.ContinueOnError)
+	var (
+		table    = fs.String("table", "", "table to regenerate: 1, 2, 3 or 4")
+		figure   = fs.String("figure", "", "figure to regenerate: 4a, 4b or 5")
+		all      = fs.Bool("all", false, "regenerate every table and figure")
+		maxN     = fs.Int("maxn", 0, "drop instances with more than this many cities (0 = keep all)")
+		budget   = fs.Int64("budget", 0, "per-launch lane-operation sampling budget (0 = default)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		paper    = fs.Bool("paper", false, "also print the paper's published values")
+		ablate   = fs.String("ablate", "", "ablation study: theta, block or nn")
+		quality  = fs.Int("quality", 0, "solution-quality table with this many iterations (0 = off)")
+		converge = fs.String("converge", "", "convergence series on this instance (e.g. kroC100)")
+		profile  = fs.Bool("profile", false, "profile one full AS iteration per device on att48")
+		traceOut = fs.String("traceout", "", "with -profile, write the M2050 timeline as Chrome trace JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *profile {
+		return runProfile(stdout, *traceOut)
+	}
 	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("no mode selected")
 	}
 
 	cfg := bench.Config{MaxN: *maxN, SampleBudget: *budget}
@@ -48,20 +69,19 @@ func main() {
 	m2050 := cuda.TeslaM2050()
 	both := []*cuda.Device{c1060, m2050}
 
-	emit := func(t *bench.Table, err error) {
+	emit := func(t *bench.Table, err error) error {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "acobench:", err)
-			os.Exit(1)
+			return err
 		}
 		if *csv {
-			if err := t.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "acobench:", err)
-				os.Exit(1)
+			if err := t.WriteCSV(stdout); err != nil {
+				return err
 			}
 		} else {
-			t.Format(os.Stdout)
+			t.Format(stdout)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		return nil
 	}
 
 	emitPaper := func(title string, instances []string, rows map[string][]float64, order []string) {
@@ -74,8 +94,8 @@ func main() {
 				t.AddRow(name, vals)
 			}
 		}
-		t.Format(os.Stdout)
-		fmt.Println()
+		t.Format(stdout)
+		fmt.Fprintln(stdout)
 	}
 
 	tableOrder := []string{
@@ -94,18 +114,20 @@ func main() {
 	wantFig := func(name string) bool { return *all || *figure == name }
 
 	if want("1") {
-		fmt.Println("Table I: CUDA and hardware features (device presets)")
+		fmt.Fprintln(stdout, "Table I: CUDA and hardware features (device presets)")
 		for _, d := range both {
-			fmt.Printf("  %s | SPs/SM %d | SMs %d | total SPs %d | clock %.0f MHz | "+
+			fmt.Fprintf(stdout, "  %s | SPs/SM %d | SMs %d | total SPs %d | clock %.0f MHz | "+
 				"threads/block %d | threads/SM %d | shared %d KB | mem %.0f GB | BW %.0f GB/s\n",
 				d.Name, d.CoresPerSM, d.SMs, d.TotalCores(), d.ClockHz/1e6,
 				d.MaxThreadsPerBlock, d.MaxThreadsPerSM, d.SharedMemPerSM/1024,
 				float64(d.GlobalMemBytes)/(1<<30), d.BandwidthBytesPS/1e9)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if want("2") {
-		emit(bench.TableII(c1060, cfg))
+		if err := emit(bench.TableII(c1060, cfg)); err != nil {
+			return err
+		}
 		emitPaper("Paper Table II (Tesla C1060)", bench.PaperInstances, bench.PaperTableII, tableOrder)
 	}
 	if want("3") {
@@ -113,7 +135,9 @@ func main() {
 		if pcfg.Instances == nil {
 			pcfg.Instances = bench.PaperPherInstances
 		}
-		emit(bench.TablePheromone(c1060, pcfg))
+		if err := emit(bench.TablePheromone(c1060, pcfg)); err != nil {
+			return err
+		}
 		emitPaper("Paper Table III (Tesla C1060)", bench.PaperPherInstances, bench.PaperTableIII, pherOrder)
 	}
 	if want("4") {
@@ -121,25 +145,33 @@ func main() {
 		if pcfg.Instances == nil {
 			pcfg.Instances = bench.PaperPherInstances
 		}
-		emit(bench.TablePheromone(m2050, pcfg))
+		if err := emit(bench.TablePheromone(m2050, pcfg)); err != nil {
+			return err
+		}
 		emitPaper("Paper Table IV (Tesla M2050)", bench.PaperPherInstances, bench.PaperTableIV, pherOrder)
 	}
 	if wantFig("4a") {
-		emit(bench.Figure4a(both, cfg))
+		if err := emit(bench.Figure4a(both, cfg)); err != nil {
+			return err
+		}
 		if *paper {
-			fmt.Printf("Paper: peaks ~%.2fx (C1060) / ~%.2fx (M2050) near pr1002, <1x for the smallest instances\n\n",
+			fmt.Fprintf(stdout, "Paper: peaks ~%.2fx (C1060) / ~%.2fx (M2050) near pr1002, <1x for the smallest instances\n\n",
 				bench.PaperFig4aPeak["Tesla C1060"], bench.PaperFig4aPeak["Tesla M2050"])
 		}
 	}
 	if wantFig("4b") {
-		emit(bench.Figure4b(both, cfg))
+		if err := emit(bench.Figure4b(both, cfg)); err != nil {
+			return err
+		}
 		if *paper {
-			fmt.Printf("Paper: up to ~%.0fx (C1060) / ~%.0fx (M2050)\n\n",
+			fmt.Fprintf(stdout, "Paper: up to ~%.0fx (C1060) / ~%.0fx (M2050)\n\n",
 				bench.PaperFig4bPeak["Tesla C1060"], bench.PaperFig4bPeak["Tesla M2050"])
 		}
 	}
 	if *converge != "" {
-		emit(bench.ConvergenceSeries(m2050, *converge, nil))
+		if err := emit(bench.ConvergenceSeries(m2050, *converge, nil)); err != nil {
+			return err
+		}
 	}
 
 	if *quality > 0 {
@@ -147,7 +179,9 @@ func main() {
 		if qcfg.Instances == nil {
 			qcfg.Instances = []string{"att48", "kroC100", "a280"}
 		}
-		emit(bench.QualityTable(m2050, qcfg, *quality))
+		if err := emit(bench.QualityTable(m2050, qcfg, *quality)); err != nil {
+			return err
+		}
 	}
 
 	switch *ablate {
@@ -156,23 +190,28 @@ func main() {
 		if pcfg.Instances == nil {
 			pcfg.Instances = []string{"kroC100", "a280", "pcb442"}
 		}
-		emit(bench.AblationTheta(c1060, pcfg, []int{32, 64, 128, 256, 512}))
+		if err := emit(bench.AblationTheta(c1060, pcfg, []int{32, 64, 128, 256, 512})); err != nil {
+			return err
+		}
 	case "block":
 		pcfg := cfg
 		if pcfg.Instances == nil {
 			pcfg.Instances = []string{"att48", "kroC100", "a280", "pcb442"}
 		}
-		emit(bench.AblationDataBlock(c1060, pcfg, []int{32, 64, 128, 256, 512}))
+		if err := emit(bench.AblationDataBlock(c1060, pcfg, []int{32, 64, 128, 256, 512})); err != nil {
+			return err
+		}
 	case "nn":
 		pcfg := cfg
 		if pcfg.Instances == nil {
 			pcfg.Instances = []string{"kroC100", "a280", "pcb442"}
 		}
-		emit(bench.AblationNN(c1060, pcfg, []int{10, 20, 30, 40, 60}))
+		if err := emit(bench.AblationNN(c1060, pcfg, []int{10, 20, 30, 40, 60})); err != nil {
+			return err
+		}
 	case "":
 	default:
-		fmt.Fprintf(os.Stderr, "acobench: unknown ablation %q (want theta, block or nn)\n", *ablate)
-		os.Exit(2)
+		return fmt.Errorf("unknown ablation %q (want theta, block or nn)", *ablate)
 	}
 
 	if wantFig("5") {
@@ -180,10 +219,57 @@ func main() {
 		if pcfg.Instances == nil {
 			pcfg.Instances = bench.PaperPherInstances
 		}
-		emit(bench.Figure5(both, pcfg))
+		if err := emit(bench.Figure5(both, pcfg)); err != nil {
+			return err
+		}
 		if *paper {
-			fmt.Printf("Paper: up to ~%.2fx (C1060) / ~%.2fx (M2050) at pr1002, <1x at the small end on C1060\n\n",
+			fmt.Fprintf(stdout, "Paper: up to ~%.2fx (C1060) / ~%.2fx (M2050) at pr1002, <1x at the small end on C1060\n\n",
 				bench.PaperFig5Peak["Tesla C1060"], bench.PaperFig5Peak["Tesla M2050"])
 		}
 	}
+	return nil
+}
+
+// runProfile runs one full Ant System iteration on att48 for each device
+// with a tracer attached and prints the per-kernel summary — the profiler
+// view of the per-kernel costs behind the paper's tables.
+func runProfile(stdout io.Writer, traceOut string) error {
+	in, err := tsp.LoadBenchmark("att48")
+	if err != nil {
+		return err
+	}
+	p := aco.DefaultParams()
+	p.Seed = 1
+	for _, dev := range []*cuda.Device{cuda.TeslaC1060(), cuda.TeslaM2050()} {
+		e, err := core.NewEngine(dev, in, p)
+		if err != nil {
+			return err
+		}
+		tr := trace.NewCollector()
+		e.SetTracer(tr)
+		if _, err := e.Iterate(core.TourDataParallelTexture, core.PherAtomicShared); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: one AS iteration on att48, %.4f ms simulated\n",
+			dev.Name, tr.Seconds()*1e3)
+		if err := tr.WriteSummary(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if traceOut != "" && dev.Name == "Tesla M2050" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote Chrome trace JSON to %s\n", traceOut)
+		}
+	}
+	return nil
 }

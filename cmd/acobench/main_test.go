@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSmokeProfileMode(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var out1 bytes.Buffer
+	if err := run([]string{"-profile", "-traceout", traceFile}, &out1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Tesla C1060", "Tesla M2050", "tour-data-v8", "deposit-atomic-shared"} {
+		if !bytes.Contains(out1.Bytes(), []byte(want)) {
+			t.Fatalf("profile output missing %q:\n%s", want, out1.String())
+		}
+	}
+
+	raw1, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw1, &parsed); err != nil {
+		t.Fatalf("-traceout file is not valid trace JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events")
+	}
+
+	// Determinism: a second run reproduces both streams byte for byte.
+	var out2 bytes.Buffer
+	if err := run([]string{"-profile", "-traceout", traceFile}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("profile runs printed different output")
+	}
+	raw2, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("profile runs wrote different trace JSON")
+	}
+}
+
+func TestSmokeTableI(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("Tesla C1060")) {
+		t.Fatalf("Table I output missing device row:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsNoMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("run without any mode should fail")
+	}
+}

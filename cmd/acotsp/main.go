@@ -8,11 +8,14 @@
 //	acotsp -bench pr1002 -backend gpu -device m2050     # GPU, defaults
 //	acotsp -file my.tsp -backend gpu -tour 7 -pher 1    # explicit kernels
 //	acotsp -bench kroC100 -trace                        # per-iteration log
+//	acotsp -bench att48 -backend gpu -profile \
+//	       -traceout trace.json                         # profiler + Perfetto
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,28 +26,38 @@ import (
 )
 
 func main() {
-	var (
-		benchName = flag.String("bench", "", "paper benchmark instance name (att48 ... pr2392)")
-		file      = flag.String("file", "", "TSPLIB file to solve instead of a named benchmark")
-		iters     = flag.Int("iters", 20, "Ant System iterations")
-		backend   = flag.String("backend", "cpu", "cpu or gpu (simulated)")
-		device    = flag.String("device", "m2050", "simulated device: c1060 or m2050")
-		tourV     = flag.Int("tour", 0, "tour construction version 1-8 (0 = auto)")
-		pherV     = flag.Int("pher", 0, "pheromone update version 1-5 (0 = atomic+shared)")
-		variant   = flag.String("variant", "nn", "CPU construction: nn or full")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		ants      = flag.Int("ants", 0, "ant count m (0 = one per city)")
-		trace     = flag.Bool("trace", false, "log per-iteration best and stage times (gpu backend)")
-		alg       = flag.String("alg", "as", "algorithm: as, acs, mmas, eas or rank")
-		ls        = flag.Bool("ls", false, "apply 2-opt local search to every ant's tour (AS only)")
-		runs      = flag.Int("runs", 1, "independent parallel runs, best-of (CPU AS only)")
-		tourOut   = flag.String("tourout", "", "write the best tour to this TSPLIB .tour file")
-	)
-	flag.Parse()
-
-	fail := func(err error) {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "acotsp:", err)
 		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("acotsp", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "", "paper benchmark instance name (att48 ... pr2392)")
+		file      = fs.String("file", "", "TSPLIB file to solve instead of a named benchmark")
+		iters     = fs.Int("iters", 20, "Ant System iterations")
+		backend   = fs.String("backend", "cpu", "cpu or gpu (simulated)")
+		device    = fs.String("device", "m2050", "simulated device: c1060 or m2050")
+		tourV     = fs.Int("tour", 0, "tour construction version 1-8 (0 = auto)")
+		pherV     = fs.Int("pher", 0, "pheromone update version 1-5 (0 = atomic+shared)")
+		variant   = fs.String("variant", "nn", "CPU construction: nn or full")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		ants      = fs.Int("ants", 0, "ant count m (0 = one per city)")
+		iterLog   = fs.Bool("trace", false, "log per-iteration best and stage times (gpu backend)")
+		alg       = fs.String("alg", "as", "algorithm: as, acs, mmas, eas or rank")
+		ls        = fs.Bool("ls", false, "apply 2-opt local search to every ant's tour (AS only)")
+		runs      = fs.Int("runs", 1, "independent parallel runs, best-of (CPU AS only)")
+		tourOut   = fs.String("tourout", "", "write the best tour to this TSPLIB .tour file")
+		profile   = fs.Bool("profile", false, "profile every kernel launch and phase; print the per-kernel summary")
+		traceOut  = fs.String("traceout", "", "write the profile as Chrome trace-event JSON (implies -profile)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		*profile = true
 	}
 
 	var in *antgpu.Instance
@@ -59,18 +72,18 @@ func main() {
 			strings.Join(antgpu.Benchmarks(), ", "))
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	p := antgpu.DefaultParams()
 	p.Seed = *seed
 	p.Ants = *ants
 
-	fmt.Printf("instance %s: %d cities (%s), %d ants, %d iterations\n",
+	fmt.Fprintf(stdout, "instance %s: %d cities (%s), %d ants, %d iterations\n",
 		in.Name, in.N(), in.Type, p.AntCount(in.N()), *iters)
 
 	if v := strings.ToLower(*alg); v == "acs" || v == "mmas" || v == "eas" || v == "rank" {
-		opts := antgpu.SolveOptions{Iterations: *iters}
+		opts := antgpu.SolveOptions{Iterations: *iters, Profile: *profile}
 		switch v {
 		case "eas":
 			opts.Algorithm = antgpu.AlgorithmEAS
@@ -103,15 +116,17 @@ func main() {
 			} else {
 				opts.Device = antgpu.TeslaM2050()
 			}
-			fmt.Printf("device: %s\n", opts.Device)
+			fmt.Fprintf(stdout, "device: %s\n", opts.Device)
 			clock = "simulated GPU"
 		}
 		res, err := antgpu.Solve(in, opts)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		report(in, res.BestTour, res.BestLen, res.SimulatedSeconds, clock)
-		return
+		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, clock); err != nil {
+			return err
+		}
+		return emitProfile(stdout, res.Trace, *traceOut)
 	}
 
 	if *backend == "cpu" {
@@ -122,22 +137,27 @@ func main() {
 		if *runs > 1 {
 			results, best, err := aco.IndependentRuns(in, p, v, *runs, *iters)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Printf("best of %d independent runs (seed %d):\n", *runs, results[best].Seed)
-			report(in, results[best].BestTour, results[best].BestLen, 0, "modelled CPU")
-			writeTour(*tourOut, in, results[best].BestTour)
-			return
+			fmt.Fprintf(stdout, "best of %d independent runs (seed %d):\n", *runs, results[best].Seed)
+			if err := report(stdout, in, results[best].BestTour, results[best].BestLen, 0, "modelled CPU"); err != nil {
+				return err
+			}
+			return writeTour(stdout, *tourOut, in, results[best].BestTour)
 		}
 		res, err := antgpu.Solve(in, antgpu.SolveOptions{
-			Params: p, Iterations: *iters, Variant: v, LocalSearch: *ls,
+			Params: p, Iterations: *iters, Variant: v, LocalSearch: *ls, Profile: *profile,
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		report(in, res.BestTour, res.BestLen, res.SimulatedSeconds, "modelled CPU")
-		writeTour(*tourOut, in, res.BestTour)
-		return
+		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, "modelled CPU"); err != nil {
+			return err
+		}
+		if err := writeTour(stdout, *tourOut, in, res.BestTour); err != nil {
+			return err
+		}
+		return emitProfile(stdout, res.Trace, *traceOut)
 	}
 
 	var dev *antgpu.Device
@@ -147,28 +167,37 @@ func main() {
 	case "m2050":
 		dev = antgpu.TeslaM2050()
 	default:
-		fail(fmt.Errorf("unknown device %q (want c1060 or m2050)", *device))
+		return fmt.Errorf("unknown device %q (want c1060 or m2050)", *device)
 	}
-	fmt.Printf("device: %s\n", dev)
+	fmt.Fprintf(stdout, "device: %s\n", dev)
 
-	if !*trace {
+	if !*iterLog {
 		res, err := antgpu.Solve(in, antgpu.SolveOptions{
 			Params: p, Iterations: *iters, Backend: antgpu.BackendGPU,
 			Device: dev, Tour: antgpu.TourVersion(*tourV), Pher: antgpu.PherVersion(*pherV),
-			LocalSearch: *ls,
+			LocalSearch: *ls, Profile: *profile,
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		report(in, res.BestTour, res.BestLen, res.SimulatedSeconds, "simulated GPU")
-		writeTour(*tourOut, in, res.BestTour)
-		return
+		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, "simulated GPU"); err != nil {
+			return err
+		}
+		if err := writeTour(stdout, *tourOut, in, res.BestTour); err != nil {
+			return err
+		}
+		return emitProfile(stdout, res.Trace, *traceOut)
 	}
 
 	// Traced run: drive the engine directly for per-iteration detail.
 	e, err := core.NewEngine(dev, in, p)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	var tr *antgpu.Trace
+	if *profile {
+		tr = antgpu.NewTrace()
+		e.SetTracer(tr)
 	}
 	tv := antgpu.TourVersion(*tourV)
 	if tv == 0 {
@@ -178,48 +207,81 @@ func main() {
 	if pv == 0 {
 		pv = antgpu.PherAtomicShared
 	}
-	fmt.Printf("kernels: %v / %v\n", tv, pv)
+	fmt.Fprintf(stdout, "kernels: %v / %v\n", tv, pv)
 	total := 0.0
 	for i := 1; i <= *iters; i++ {
 		res, err := e.Iterate(tv, pv)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		total += res.Construct.Seconds() + res.Update.Seconds()
 		_, best := e.Best()
-		fmt.Printf("iter %3d: best %8d | construct %8.3f ms | update %8.3f ms\n",
+		fmt.Fprintf(stdout, "iter %3d: best %8d | construct %8.3f ms | update %8.3f ms\n",
 			i, best, res.Construct.Millis(), res.Update.Millis())
 	}
 	tour, best := e.Best()
-	report(in, tour, best, total, "simulated GPU")
-	writeTour(*tourOut, in, tour)
+	if err := report(stdout, in, tour, best, total, "simulated GPU"); err != nil {
+		return err
+	}
+	if err := writeTour(stdout, *tourOut, in, tour); err != nil {
+		return err
+	}
+	return emitProfile(stdout, tr, *traceOut)
 }
 
-// writeTour saves the tour in TSPLIB TOUR format when a path was given.
-func writeTour(path string, in *antgpu.Instance, tour []int32) {
+// emitProfile prints the per-kernel summary and, when a path was given,
+// writes the Chrome trace-event JSON (loadable in ui.perfetto.dev).
+func emitProfile(stdout io.Writer, tr *antgpu.Trace, path string) error {
+	if tr == nil {
+		return nil
+	}
+	fmt.Fprintf(stdout, "\nprofile: %.4f ms simulated across %d events\n",
+		tr.Seconds()*1e3, len(tr.Events()))
+	if err := tr.WriteSummary(stdout); err != nil {
+		return err
+	}
 	if path == "" {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "acotsp:", err)
-		os.Exit(1)
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote Chrome trace JSON to %s\n", path)
+	return nil
+}
+
+// writeTour saves the tour in TSPLIB TOUR format when a path was given.
+func writeTour(stdout io.Writer, path string, in *antgpu.Instance, tour []int32) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
 	defer f.Close()
 	if err := tsp.WriteTour(f, in.Name+".tour", tour); err != nil {
-		fmt.Fprintln(os.Stderr, "acotsp:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("wrote best tour to %s\n", path)
+	fmt.Fprintf(stdout, "wrote best tour to %s\n", path)
+	return nil
 }
 
-func report(in *antgpu.Instance, tour []int32, best int64, secs float64, clock string) {
+func report(stdout io.Writer, in *antgpu.Instance, tour []int32, best int64, secs float64, clock string) error {
 	if err := in.ValidTour(tour); err != nil {
-		fmt.Fprintln(os.Stderr, "acotsp: INVALID RESULT:", err)
-		os.Exit(1)
+		return fmt.Errorf("INVALID RESULT: %w", err)
 	}
 	nn := in.TourLength(in.NearestNeighbourTour(0))
-	fmt.Printf("best tour length: %d (greedy NN baseline: %d, ratio %.3f)\n",
+	fmt.Fprintf(stdout, "best tour length: %d (greedy NN baseline: %d, ratio %.3f)\n",
 		best, nn, float64(best)/float64(nn))
-	fmt.Printf("%s time: %.3f ms\n", clock, secs*1e3)
+	fmt.Fprintf(stdout, "%s time: %.3f ms\n", clock, secs*1e3)
+	return nil
 }

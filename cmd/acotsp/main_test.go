@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+var bestLenRE = regexp.MustCompile(`best tour length: (\d+)`)
+
+// bestLen extracts the reported tour length; run() itself validates the
+// tour (report fails the run on an invalid permutation), so a successful
+// run with a plausible length is a full smoke check.
+func bestLen(t *testing.T, out string) int {
+	t.Helper()
+	m := bestLenRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no best tour length in output:\n%s", out)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil || n <= 0 {
+		t.Fatalf("bad tour length %q", m[1])
+	}
+	return n
+}
+
+func TestSmokeCPUBackend(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "att48", "-seed", "7", "-iters", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	l := bestLen(t, out.String())
+	// Optimum for the att48 stand-in family is ~19k; anything within 2x of
+	// the greedy baseline bound is sane for 5 iterations.
+	if l < 10000 || l > 60000 {
+		t.Fatalf("implausible att48 tour length %d", l)
+	}
+}
+
+func TestSmokeGPUBackendWithProfile(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{"-bench", "att48", "-seed", "7", "-iters", "5",
+		"-backend", "gpu", "-profile", "-traceout", traceFile}
+
+	var out1 bytes.Buffer
+	if err := run(args, &out1); err != nil {
+		t.Fatal(err)
+	}
+	bestLen(t, out1.String())
+	if !bytes.Contains(out1.Bytes(), []byte("profile:")) {
+		t.Fatalf("no profile summary in output:\n%s", out1.String())
+	}
+
+	raw1, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw1, &parsed); err != nil {
+		t.Fatalf("-traceout file is not valid trace JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 10 {
+		t.Fatalf("trace has only %d events", len(parsed.TraceEvents))
+	}
+
+	// Same seed, same everything: stdout and trace JSON are byte-identical.
+	var out2 bytes.Buffer
+	if err := run(args, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("same-seed runs printed different output")
+	}
+	raw2, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("same-seed runs wrote different trace JSON")
+	}
+}
+
+func TestSmokeCPUProfile(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-bench", "att48", "-seed", "7", "-iters", "3",
+		"-profile", "-traceout", traceFile}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("CPU-backend trace JSON invalid")
+	}
+	if !bytes.Contains(out.Bytes(), []byte("construct")) {
+		t.Fatalf("CPU profile summary missing construct stage:\n%s", out.String())
+	}
+}
+
+func TestSmokeIterLogWithProfile(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bench", "att48", "-seed", "7", "-iters", "2",
+		"-backend", "gpu", "-trace", "-profile"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("iter   1:")) {
+		t.Fatalf("no per-iteration log:\n%s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("profile:")) {
+		t.Fatalf("no profile summary in -trace path:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMissingInstance(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("run without -bench/-file should fail")
+	}
+}

@@ -1,0 +1,78 @@
+// Profiler walkthrough: run the Ant System on the simulated GPU with
+// profiling enabled, inspect the timeline programmatically, print the
+// per-kernel summary, and export a Chrome trace-event JSON you can load in
+// ui.perfetto.dev (or chrome://tracing).
+//
+//	go run ./examples/profiler
+//	# then open antgpu-trace.json in ui.perfetto.dev
+//
+// Everything on the timeline is simulated device time — the profile of the
+// modelled Tesla M2050 executing the paper's kernels, not of the Go process
+// simulating them — and it is byte-identical across same-seed runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"antgpu"
+)
+
+func main() {
+	in, err := antgpu.LoadBenchmark("kroC100")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := antgpu.Solve(in, antgpu.SolveOptions{
+		Iterations: 10,
+		Backend:    antgpu.BackendGPU,
+		Device:     antgpu.TeslaM2050(),
+		Profile:    true, // attach a trace collector; returned in res.Trace
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := res.Trace
+
+	fmt.Printf("%s: best %d in %.3f ms simulated (%d timeline events)\n\n",
+		in.Name, res.BestLen, res.SimulatedSeconds*1e3, len(tr.Events()))
+
+	// 1. The aggregate view: per-kernel totals, share of the run, memory
+	//    transactions, atomic serialisation — the numbers behind the
+	//    paper's per-kernel tables.
+	if err := tr.WriteSummary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The programmatic view: walk the timeline. Phase spans ("iteration",
+	//    "construct", "update", ...) nest around the kernel launches they
+	//    contain; kernel events carry the full launch detail.
+	fmt.Println("\nfirst iteration, event by event:")
+	for _, ev := range tr.Events() {
+		if ev.Start >= tr.Events()[0].Dur { // stop after the first iteration span
+			break
+		}
+		switch ev.Cat {
+		case "phase":
+			fmt.Printf("  phase  %-12s %8.4f ms\n", ev.Name, ev.Dur*1e3)
+		case "kernel":
+			k := ev.Kernel
+			fmt.Printf("  kernel %-12s %8.4f ms  grid %s x block %s  occupancy %.0f%% (%s-bound)\n",
+				ev.Name, ev.Dur*1e3, k.Grid, k.Block,
+				k.Occupancy.Fraction*100, k.Breakdown.Bound)
+		}
+	}
+
+	// 3. The interactive view: Chrome trace-event JSON for Perfetto.
+	f, err := os.Create("antgpu-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote antgpu-trace.json — open it in ui.perfetto.dev")
+}

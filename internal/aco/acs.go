@@ -92,6 +92,7 @@ func (a *ACS) ConstructTours() {
 		a.constructAnt(ant, &g, &mtr)
 	}
 	c.ConstructMeter.Add(&mtr)
+	c.cpuSpan("construct", &mtr)
 }
 
 func (a *ACS) constructAnt(ant int, g *rng.LCG, mtr *Meter) {
@@ -207,8 +208,9 @@ func (a *ACS) GlobalUpdate() {
 		c.Pher[y*n+x] = v
 		a.refreshChoice(x, y)
 	}
-	c.PheromoneMeter.Ops += 14 * float64(n)
-	c.PheromoneMeter.Pow += 2 * float64(n)
+	mtr := Meter{Ops: 14 * float64(n), Pow: 2 * float64(n)}
+	c.PheromoneMeter.Add(&mtr)
+	c.cpuSpan("update", &mtr)
 }
 
 // refreshChoice recomputes the choice entries of one symmetric edge (ACS
@@ -234,6 +236,7 @@ func powAlpha(x, p float64) float64 {
 
 // Iterate runs one full ACS iteration.
 func (a *ACS) Iterate() {
+	defer a.phase("iteration")()
 	a.ConstructTours()
 	a.GlobalUpdate()
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"antgpu/internal/rng"
+	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
 
@@ -58,6 +59,11 @@ type Colony struct {
 	ConstructMeter Meter
 	PheromoneMeter Meter
 	ChoiceMeter    Meter
+
+	// Tracer, when non-nil, records every algorithm phase on a simulated
+	// timeline; phase durations come from the stage meters through the
+	// reference CPU model (DefaultCPU).
+	Tracer *trace.Collector
 
 	// scratch
 	visited []bool
@@ -117,6 +123,25 @@ func (c *Colony) ResetMeters() {
 	c.ChoiceMeter = Meter{}
 }
 
+// cpuSpan records one finished phase as a leaf span on the tracer, with
+// its duration modelled from the phase's meter delta.
+func (c *Colony) cpuSpan(name string, mtr *Meter) {
+	if c.Tracer == nil {
+		return
+	}
+	c.Tracer.Span(name, DefaultCPU().Seconds(mtr))
+}
+
+// phase opens a grouping span on the tracer and returns its closer; both
+// are no-ops without a tracer, so call sites read `defer c.phase("name")()`.
+func (c *Colony) phase(name string) func() {
+	if c.Tracer == nil {
+		return func() {}
+	}
+	c.Tracer.Begin(name)
+	return c.Tracer.End
+}
+
 // heuristic returns η(i,j)^β with the ACOTSP guard against zero distances.
 func (c *Colony) heuristic(d int32) float64 {
 	return 1.0 / (float64(d) + 0.1)
@@ -145,6 +170,7 @@ func (c *Colony) ComputeChoiceInfo() {
 	mtr.Ops += 6 * nn
 	mtr.Bytes += 24 * nn // read τ and d, write choice
 	c.ChoiceMeter.Add(&mtr)
+	c.cpuSpan("choice", &mtr)
 }
 
 // ConstructTours builds tours for all m ants with the selected variant.
@@ -172,6 +198,7 @@ func (c *Colony) ConstructAnts(v Variant, count int) {
 		}
 	}
 	c.ConstructMeter.Add(&mtr)
+	c.cpuSpan("construct", &mtr)
 }
 
 // constructAntFull applies the random-proportional rule (paper eq. 1) over
@@ -328,8 +355,9 @@ func (c *Colony) Evaporate() {
 		c.Pher[i] *= f
 	}
 	nn := float64(c.n) * float64(c.n)
-	c.PheromoneMeter.Ops += 2 * nn
-	c.PheromoneMeter.Bytes += 16 * nn
+	mtr := Meter{Ops: 2 * nn, Bytes: 16 * nn}
+	c.PheromoneMeter.Add(&mtr)
+	c.cpuSpan("evaporation", &mtr)
 }
 
 // Deposit adds Δτ = 1/C^k on every edge of every ant's tour, symmetrically
@@ -359,11 +387,13 @@ func (c *Colony) DepositAnts(count int) {
 	mtr.Ops += 12 * float64(count) * float64(n)
 	mtr.Bytes += 128 * float64(count) * float64(n) // two RMW cache lines per edge
 	c.PheromoneMeter.Add(&mtr)
+	c.cpuSpan("deposit", &mtr)
 }
 
 // UpdatePheromone runs the full pheromone stage: evaporation, deposit, and
 // — as in ACOTSP — recomputation of the choice information.
 func (c *Colony) UpdatePheromone() {
+	defer c.phase("update")()
 	c.Evaporate()
 	c.Deposit()
 	c.ComputeChoiceInfo()
@@ -371,6 +401,7 @@ func (c *Colony) UpdatePheromone() {
 
 // Iterate runs one full Ant System iteration.
 func (c *Colony) Iterate(v Variant) {
+	defer c.phase("iteration")()
 	c.ConstructTours(v)
 	c.UpdatePheromone()
 }

@@ -99,6 +99,7 @@ func (m *MMAS) resetTrails() {
 // depositing ant (iteration-best, or best-so-far every BestEvery-th
 // iteration), trail clamping, and the choice recomputation.
 func (m *MMAS) UpdatePheromone(iterBest []int32, iterBestLen int64) {
+	defer m.phase("update")()
 	m.Evaporate()
 
 	tour := iterBest
@@ -135,6 +136,7 @@ func (m *MMAS) UpdatePheromone(iterBest []int32, iterBestLen int64) {
 // Iterate runs one full MMAS iteration with the given construction
 // variant.
 func (m *MMAS) Iterate(v Variant) {
+	defer m.phase("iteration")()
 	m.iterCount++
 	prevBest := m.BestLen
 	m.ConstructTours(v)

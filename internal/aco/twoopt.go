@@ -208,4 +208,5 @@ func (c *Colony) LocalSearchTours(count int) {
 		}
 	}
 	c.ConstructMeter.Add(&mtr)
+	c.cpuSpan("2-opt", &mtr)
 }

@@ -40,6 +40,7 @@ func NewEASColony(in *tsp.Instance, p Params, elite float64) (*EAS, error) {
 // UpdatePheromone applies the AS update plus the elitist bonus on the
 // best-so-far tour.
 func (e *EAS) UpdatePheromone() {
+	defer e.phase("update")()
 	e.Evaporate()
 	e.Deposit()
 	if e.BestTour != nil {
@@ -62,6 +63,7 @@ func (c *Colony) depositTour(tour []int32, delta float64) {
 
 // Iterate runs one full EAS iteration.
 func (e *EAS) Iterate(v Variant) {
+	defer e.phase("iteration")()
 	e.ConstructTours(v)
 	e.UpdatePheromone()
 }
@@ -101,6 +103,7 @@ func NewRankColony(in *tsp.Instance, p Params, w int) (*RankAS, error) {
 
 // UpdatePheromone applies the rank-based update.
 func (r *RankAS) UpdatePheromone() {
+	defer r.phase("update")()
 	r.Evaporate()
 	// Rank the iteration's ants by tour length.
 	order := make([]int, r.m)
@@ -124,6 +127,7 @@ func (r *RankAS) UpdatePheromone() {
 
 // Iterate runs one full ASrank iteration.
 func (r *RankAS) Iterate(v Variant) {
+	defer r.phase("iteration")()
 	r.ConstructTours(v)
 	r.UpdatePheromone()
 }

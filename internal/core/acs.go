@@ -22,8 +22,11 @@ import (
 //
 // As in published GPU ACS implementations, concurrent local updates from
 // different ant-blocks to a shared edge are unsynchronised (last writer
-// wins); ACS tolerates the staleness by design. The simulator executes
-// blocks in a deterministic order, so runs remain reproducible.
+// wins); ACS tolerates the staleness by design. The construction launch
+// declares SerialBlocks so the simulator executes the ant-blocks in a fixed
+// order — last-writer-wins then resolves identically every run, keeping the
+// determinism guarantee of DESIGN.md §5 (host-side only; the simulated
+// timing still models all blocks running concurrently).
 
 // ACSEngine runs the Ant Colony System on the simulated device.
 type ACSEngine struct {
@@ -60,6 +63,7 @@ func NewACSEngine(dev *cuda.Device, in *tsp.Instance, p aco.ACSParams) (*ACSEngi
 // local pheromone updates.
 func (a *ACSEngine) ConstructTours() (*StageResult, error) {
 	e := a.Engine
+	defer e.span("construct")()
 	e.iteration++
 	stage := &StageResult{}
 
@@ -88,6 +92,7 @@ func (a *ACSEngine) ConstructTours() (*StageResult, error) {
 		Block:         cuda.D1(threads),
 		SharedBytes:   4 * (2*threads + 2*tiles + 2),
 		RegsPerThread: 22,
+		SerialBlocks:  true, // unsynchronised local updates; see package comment
 	}
 
 	kernel := func(b *cuda.Block) {
@@ -276,6 +281,7 @@ func (a *ACSEngine) localUpdate(t *cuda.Thread, i, j int, xi, tau0, alpha, beta 
 // update kernel: one thread per edge of the best tour.
 func (a *ACSEngine) GlobalUpdate() (*StageResult, error) {
 	e := a.Engine
+	defer e.span("update")()
 	best, bestLen := e.Best()
 	if best == nil {
 		return nil, fmt.Errorf("core: ACS global update before any ReadBest")
@@ -322,6 +328,7 @@ func (a *ACSEngine) Iterate() (*IterationResult, error) {
 	if a.SampleBudget > 0 {
 		return nil, fmt.Errorf("core: ACS Iterate needs full functional execution; clear SampleBudget")
 	}
+	defer a.span("iteration")()
 	construct, err := a.ConstructTours()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"antgpu/internal/aco"
 	"antgpu/internal/cuda"
 	"antgpu/internal/rng"
+	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
 
@@ -65,6 +66,11 @@ type Engine struct {
 	// in expectation, functional output becomes partial). Zero disables
 	// sampling: every block runs.
 	SampleBudget int64
+
+	// Tracer, when non-nil, records every kernel launch and algorithm
+	// phase on a simulated timeline (set it with SetTracer so the device
+	// observer hook is installed too).
+	Tracer *trace.Collector
 
 	theta       int // pheromone tour-tile length θ (and deposit block size)
 	dataThreads int // data-parallel block size override (0 = auto)
@@ -225,6 +231,30 @@ func (s *StageResult) String() string {
 		out += fmt.Sprintf(" [%s %.4f ms]", k.Name, k.Millis())
 	}
 	return out
+}
+
+// SetTracer attaches (or, with nil, detaches) a profiling collector: the
+// engine wraps its phases in spans and the device reports every launch to
+// the collector, laying kernels out on one simulated timeline. Engines
+// sharing a device also share its observer hook; attach one tracer per
+// device at a time.
+func (e *Engine) SetTracer(tr *trace.Collector) {
+	e.Tracer = tr
+	if tr == nil {
+		e.Dev.Observer = nil
+		return
+	}
+	e.Dev.Observer = tr
+}
+
+// span opens a phase span on the tracer and returns its closer; both are
+// no-ops without a tracer, so call sites read `defer e.span("name")()`.
+func (e *Engine) span(name string) func() {
+	if e.Tracer == nil {
+		return func() {}
+	}
+	e.Tracer.Begin(name)
+	return e.Tracer.End
 }
 
 // heuristicF32 mirrors aco.Colony's η guard for float32 device math.

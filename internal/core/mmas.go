@@ -105,6 +105,7 @@ func (m *MMASEngine) Iterate() (*IterationResult, error) {
 		return nil, fmt.Errorf("core: MMAS Iterate needs full functional execution; clear SampleBudget")
 	}
 	e := m.Engine
+	defer m.span("iteration")()
 	m.iterCount++
 	prevBest := m.bestLen
 
@@ -133,30 +134,37 @@ func (m *MMASEngine) Iterate() (*IterationResult, error) {
 		}
 	}
 
-	update := &StageResult{}
-	evap, err := e.EvaporateKernel()
-	if err != nil {
-		return nil, err
-	}
-	update.add(evap)
-	dep, err := e.DepositTourKernel(tour, 1/float64(length), "mmas-deposit")
-	if err != nil {
-		return nil, err
-	}
-	update.add(dep)
-	clamp, err := m.clampKernel()
-	if err != nil {
-		return nil, err
-	}
-	update.add(clamp)
-
-	if m.iterSinceBest >= m.PM.StagnationReset {
-		reset, err := m.resetTrailsKernel()
+	update, err := func() (*StageResult, error) {
+		defer m.span("update")()
+		update := &StageResult{}
+		evap, err := e.EvaporateKernel()
 		if err != nil {
 			return nil, err
 		}
-		update.add(reset)
-		m.iterSinceBest = 0
+		update.add(evap)
+		dep, err := e.DepositTourKernel(tour, 1/float64(length), "mmas-deposit")
+		if err != nil {
+			return nil, err
+		}
+		update.add(dep)
+		clamp, err := m.clampKernel()
+		if err != nil {
+			return nil, err
+		}
+		update.add(clamp)
+
+		if m.iterSinceBest >= m.PM.StagnationReset {
+			reset, err := m.resetTrailsKernel()
+			if err != nil {
+				return nil, err
+			}
+			update.add(reset)
+			m.iterSinceBest = 0
+		}
+		return update, nil
+	}()
+	if err != nil {
+		return nil, err
 	}
 
 	return &IterationResult{Construct: construct, Update: update, BestAnt: ant, BestLen: iterBestLen}, nil

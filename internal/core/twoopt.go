@@ -21,6 +21,7 @@ import (
 // LocalSearchKernel improves every ant's tour in place and refreshes the
 // device length buffer. It must run after an unsampled construction stage.
 func (e *Engine) LocalSearchKernel() (*StageResult, error) {
+	defer e.span("2-opt")()
 	if e.posBuf == nil {
 		e.posBuf = cuda.MallocI32("positions", e.m*e.n)
 	}
@@ -246,6 +247,7 @@ func (e *Engine) IterateWithLocalSearch(tv TourVersion, pv PherVersion) (*Iterat
 	if e.SampleBudget > 0 {
 		return nil, fmt.Errorf("core: IterateWithLocalSearch needs full functional execution; clear SampleBudget")
 	}
+	defer e.span("iteration")()
 	construct, err := e.ConstructTours(tv)
 	if err != nil {
 		return nil, err

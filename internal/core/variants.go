@@ -22,6 +22,7 @@ func (e *Engine) DepositTourKernel(tour []int32, delta float64, name string) (*c
 	if len(tour) != n {
 		return nil, fmt.Errorf("core: deposit tour has %d cities, want %d", len(tour), n)
 	}
+	defer e.span("deposit")()
 	if e.depositDev == nil {
 		e.depositDev = cuda.MallocI32("deposit-tour", n)
 	}
@@ -88,6 +89,7 @@ func (e *EASEngine) Iterate() (*IterationResult, error) {
 	if e.SampleBudget > 0 {
 		return nil, fmt.Errorf("core: EAS Iterate needs full functional execution; clear SampleBudget")
 	}
+	defer e.span("iteration")()
 	construct, err := e.ConstructTours(e.tourVersion)
 	if err != nil {
 		return nil, err
@@ -155,6 +157,7 @@ func (r *RankEngine) Iterate() (*IterationResult, error) {
 	if r.SampleBudget > 0 {
 		return nil, fmt.Errorf("core: ASrank Iterate needs full functional execution; clear SampleBudget")
 	}
+	defer r.span("iteration")()
 	construct, err := r.ConstructTours(r.tourVersion)
 	if err != nil {
 		return nil, err
@@ -163,29 +166,36 @@ func (r *RankEngine) Iterate() (*IterationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	update := &StageResult{}
-	evap, err := r.EvaporateKernel()
-	if err != nil {
-		return nil, err
-	}
-	update.add(evap)
-	order := r.rankAnts()
-	for rank := 0; rank < r.W-1 && rank < len(order); rank++ {
-		tour := r.Tour(order[rank])
-		length := r.In.TourLength(tour)
-		weight := float64(r.W - 1 - rank)
-		dep, err := r.DepositTourKernel(tour, weight/float64(length), fmt.Sprintf("rank-%d", rank+1))
+	update, err := func() (*StageResult, error) {
+		defer r.span("update")()
+		update := &StageResult{}
+		evap, err := r.EvaporateKernel()
+		if err != nil {
+			return nil, err
+		}
+		update.add(evap)
+		order := r.rankAnts()
+		for rank := 0; rank < r.W-1 && rank < len(order); rank++ {
+			tour := r.Tour(order[rank])
+			length := r.In.TourLength(tour)
+			weight := float64(r.W - 1 - rank)
+			dep, err := r.DepositTourKernel(tour, weight/float64(length), fmt.Sprintf("rank-%d", rank+1))
+			if err != nil {
+				return nil, err
+			}
+			update.add(dep)
+		}
+		best, bestLen := r.Best()
+		dep, err := r.DepositTourKernel(best, float64(r.W)/float64(bestLen), "rank-best")
 		if err != nil {
 			return nil, err
 		}
 		update.add(dep)
-	}
-	best, bestLen := r.Best()
-	dep, err := r.DepositTourKernel(best, float64(r.W)/float64(bestLen), "rank-best")
+		return update, nil
+	}()
 	if err != nil {
 		return nil, err
 	}
-	update.add(dep)
 	return &IterationResult{Construct: construct, Update: update, BestAnt: ant, BestLen: l}, nil
 }
 

@@ -68,6 +68,10 @@ type Device struct {
 
 	// KernelLaunchSeconds is the fixed host-side launch overhead.
 	KernelLaunchSeconds float64
+
+	// Observer, when non-nil, receives every completed launch on this
+	// device in issue order (the profiler hook; see internal/trace).
+	Observer LaunchObserver
 }
 
 // TeslaC1060 returns the GT200-class device of the paper (CUDA compute

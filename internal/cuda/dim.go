@@ -120,6 +120,14 @@ type LaunchConfig struct {
 	// dependent accesses; streaming kernels whose accesses are independent
 	// may declare a larger value.
 	LatencyOverlap float64
+
+	// SerialBlocks executes the blocks sequentially in ascending linear
+	// order on the host instead of across worker goroutines. Kernels whose
+	// cross-block writes are order-sensitive — concurrent float atomic adds
+	// round differently under different interleavings — declare it so the
+	// functional device state is bit-reproducible run to run. It only
+	// affects host-side execution, never the simulated timing.
+	SerialBlocks bool
 }
 
 // DefaultRegsPerThread is assumed when LaunchConfig.RegsPerThread is zero.

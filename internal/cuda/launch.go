@@ -26,6 +26,32 @@ func (r *LaunchResult) String() string {
 	return fmt.Sprintf("%s: %.4f ms (stride %d, %s)", r.Name, r.Millis(), r.Stride, &r.Meter)
 }
 
+// LaunchObserver receives every completed launch on a device. Observers see
+// the launch in issue order on the device's simulated stream, so a
+// trace.Collector can lay the kernels out on a simulated timeline.
+type LaunchObserver interface {
+	ObserveLaunch(cfg *LaunchConfig, res *LaunchResult)
+}
+
+// addrStat is the per-address cross-block atomic histogram entry: how many
+// atomic operations touched the address, and how many distinct executed
+// blocks they came from. The block count lets sampled launches distinguish
+// block-shared addresses (whose distinct count must NOT scale with the
+// stride) from block-private ones (whose count must).
+type addrStat struct {
+	ops    int64
+	blocks int32
+}
+
+// workerAccum collects one worker goroutine's meters and atomic histogram.
+// Workers never share accumulators, so block results merge in worker-index
+// order after the launch — float64 sums are then bit-reproducible run to
+// run (summing under a mutex in goroutine-scheduling order is not).
+type workerAccum struct {
+	meter Meter
+	addrs map[uint64]addrStat
+}
+
 // Launch executes a kernel over the grid described by cfg on the simulated
 // device and returns the metered result. Blocks run functionally; when
 // cfg requests sampling, only every stride-th block executes and the meters
@@ -42,11 +68,10 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 		executed++
 	}
 
-	total := Meter{}
-	addrs := map[uint64]int32{}
-	var mu sync.Mutex
-
 	workers := runtime.NumCPU()
+	if cfg.SerialBlocks {
+		workers = 1
+	}
 	if workers > executed {
 		workers = executed
 	}
@@ -54,19 +79,23 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 		workers = 1
 	}
 
-	runRange := func(start int) error {
+	acc := make([]workerAccum, workers)
+	runRange := func(w int) error {
+		a := &acc[w]
+		a.addrs = map[uint64]addrStat{}
 		blk := newBlock(dev, &cfg)
-		for i := start * stride; i < blocks; i += stride * workers {
+		for i := w * stride; i < blocks; i += stride * workers {
 			blk.reset(i)
 			if err := runBlock(blk, k); err != nil {
 				return err
 			}
-			mu.Lock()
-			total.Add(blk.meter)
-			for a, n := range blk.atomicAddrs {
-				addrs[a] += n
+			a.meter.Add(blk.meter)
+			for addr, n := range blk.atomicAddrs {
+				st := a.addrs[addr]
+				st.ops += int64(n)
+				st.blocks++
+				a.addrs[addr] = st
 			}
-			mu.Unlock()
 		}
 		return nil
 	}
@@ -96,24 +125,25 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 		return nil, err
 	}
 
-	// Cross-block atomic conflicts: per address with multiplicity k, k-1
-	// operations serialise at the memory partition. The per-warp retirement
-	// already counted intra-warp conflicts; the histogram subsumes them, so
-	// take the larger of the two views rather than double-charging.
-	crossExtra := 0.0
-	for _, n := range addrs {
-		if n > 1 {
-			crossExtra += float64(n - 1)
+	// Merge in worker-index order: float64 addition is not associative, so
+	// a deterministic merge order is what makes whole-launch meters
+	// bit-identical across runs of the same seed.
+	total := Meter{}
+	addrs := map[uint64]addrStat{}
+	for w := range acc {
+		total.Add(&acc[w].meter)
+		for addr, st := range acc[w].addrs {
+			cur := addrs[addr]
+			cur.ops += st.ops
+			cur.blocks += st.blocks
+			addrs[addr] = cur
 		}
 	}
-	if crossExtra > total.AtomicSerialExtra {
-		total.AtomicSerialExtra = crossExtra
-	}
-	total.AtomicDistinctAddr = int64(len(addrs))
 
 	if executed < blocks {
 		total.Scale(float64(blocks) / float64(executed))
 	}
+	applyCrossBlockAtomics(&total, addrs, float64(blocks)/float64(executed))
 	total.BlocksLaunched = int64(blocks)
 	total.BlocksExecuted = int64(executed)
 
@@ -124,7 +154,45 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 		Stride:    stride,
 	}
 	res.Seconds, res.Breakdown = EstimateTime(dev, &cfg, &total)
+	if dev.Observer != nil {
+		dev.Observer.ObserveLaunch(&cfg, res)
+	}
 	return res, nil
+}
+
+// applyCrossBlockAtomics folds the cross-block atomic histogram into the
+// scaled meters. Per address with multiplicity k, k-1 operations serialise
+// at the memory partition; the per-warp retirement already counted
+// intra-warp conflicts and the histogram subsumes them, so the larger of
+// the two views is kept rather than double-charging.
+//
+// Under block sampling (factor f = launched/executed blocks) the histogram
+// covers only the executed stratum, and distinct-address counts are not
+// linear in blocks. Addresses touched by two or more sampled blocks are
+// block-shared: unsampled blocks hit the same addresses, so the distinct
+// count stays and only the operation multiplicity extrapolates. Addresses
+// touched by exactly one sampled block are block-private: unsampled blocks
+// bring their own addresses, so the distinct count extrapolates and each
+// address keeps its per-block multiplicity. The sums accumulate in integer
+// arithmetic, so map iteration order cannot perturb the result.
+func applyCrossBlockAtomics(total *Meter, addrs map[uint64]addrStat, f float64) {
+	var sharedOps, sharedCnt, privExtra, privCnt int64
+	for _, st := range addrs {
+		if st.blocks > 1 {
+			sharedOps += st.ops
+			sharedCnt++
+		} else {
+			privExtra += st.ops - 1
+			privCnt++
+		}
+	}
+	// Shared addresses: estimated ops per address scale by f, minus the one
+	// non-serialised op each (f >= 1 and ops >= 2 keep every term positive).
+	crossExtra := f*float64(sharedOps) - float64(sharedCnt) + f*float64(privExtra)
+	if crossExtra > total.AtomicSerialExtra {
+		total.AtomicSerialExtra = crossExtra
+	}
+	total.AtomicDistinctAddr = sharedCnt + int64(float64(privCnt)*f+0.5)
 }
 
 // MustLaunch is Launch for callers with statically valid configurations; it

@@ -108,6 +108,9 @@ func (m *Meter) Add(o *Meter) {
 
 // Scale multiplies every extrapolatable count by f. BlocksLaunched and
 // BlocksExecuted are left untouched: they describe the launch itself.
+// AtomicDistinctAddr is also left untouched — distinct-address counts are
+// histogram-derived and not linear in blocks; cuda.Launch extrapolates them
+// from the cross-block histogram after scaling (see applyCrossBlockAtomics).
 func (m *Meter) Scale(f float64) {
 	scaleI := func(v int64) int64 { return int64(float64(v)*f + 0.5) }
 	m.ComputeIssues *= f
@@ -123,13 +126,18 @@ func (m *Meter) Scale(f float64) {
 	m.GlobalLoadOps = scaleI(m.GlobalLoadOps)
 	m.GlobalStoreOps = scaleI(m.GlobalStoreOps)
 	m.SharedOps = scaleI(m.SharedOps)
+	// Round fetches and misses, then derive hits, so the texture identity
+	// TexHits + TexMisses == TexFetches survives scaling (independent
+	// rounding of all three can break it by one).
 	m.TexFetches = scaleI(m.TexFetches)
-	m.TexHits = scaleI(m.TexHits)
 	m.TexMisses = scaleI(m.TexMisses)
+	if m.TexMisses > m.TexFetches {
+		m.TexMisses = m.TexFetches
+	}
+	m.TexHits = m.TexFetches - m.TexMisses
 	m.TexMissInstr *= f
 	m.AtomicOps = scaleI(m.AtomicOps)
 	m.AtomicSerialExtra *= f
-	m.AtomicDistinctAddr = scaleI(m.AtomicDistinctAddr)
 	m.RunPhases *= f
 	m.WarpsExecuted = scaleI(m.WarpsExecuted)
 	m.Barriers = scaleI(m.Barriers)

@@ -1,0 +1,150 @@
+// Package trace is the structured profiler of the simulated GPU stack: a
+// Collector observes every cuda.Launch on a device (via the
+// cuda.Device.Observer hook), lays the kernels out on a simulated timeline,
+// lets the engines wrap their algorithm phases (construction / choice /
+// evaporation / deposit / reduction / 2-opt) in spans on the same timeline,
+// and exports the result as a Chrome trace-event JSON loadable in Perfetto
+// plus per-kernel summary tables — the per-kernel cost breakdown the
+// paper's Tables II-IV are built from.
+//
+// All timestamps are simulated device time, never wall-clock, so two runs
+// with the same seed produce byte-identical traces.
+package trace
+
+import (
+	"fmt"
+
+	"antgpu/internal/cuda"
+)
+
+// Event is one entry on the simulated timeline: a kernel launch, an engine
+// phase span, or a modelled CPU stage.
+type Event struct {
+	Name  string
+	Cat   string  // "kernel", "phase" or "cpu"
+	Start float64 // simulated seconds since the collector started
+	Dur   float64 // simulated seconds; -1 while a phase span is still open
+	// Kernel holds the launch detail of "kernel" events, nil otherwise.
+	Kernel *KernelDetail
+}
+
+// KernelDetail is the per-launch record the observer hook captures.
+type KernelDetail struct {
+	Grid      cuda.Dim3
+	Block     cuda.Dim3
+	Stride    int
+	Occupancy cuda.Occupancy
+	Meter     cuda.Meter
+	Breakdown cuda.TimeBreakdown
+}
+
+// Collector accumulates events on a per-engine simulated timeline. It is
+// not safe for concurrent use: engines issue launches and spans serially,
+// mirroring a single CUDA stream. The zero value is NOT ready to use;
+// call NewCollector.
+type Collector struct {
+	clock  float64
+	events []Event
+	open   []int // indices of open phase spans, innermost last
+}
+
+// NewCollector returns an empty collector whose simulated clock starts at
+// zero.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// ObserveLaunch implements cuda.LaunchObserver: it records the kernel on
+// the simulated timeline and advances the clock by the launch's simulated
+// duration. Install it with dev.Observer = collector (the engines'
+// SetTracer does this).
+func (c *Collector) ObserveLaunch(cfg *cuda.LaunchConfig, res *cuda.LaunchResult) {
+	c.events = append(c.events, Event{
+		Name:  res.Name,
+		Cat:   "kernel",
+		Start: c.clock,
+		Dur:   res.Seconds,
+		Kernel: &KernelDetail{
+			Grid:      cfg.Grid,
+			Block:     cfg.Block,
+			Stride:    res.Stride,
+			Occupancy: res.Occupancy,
+			Meter:     res.Meter,
+			Breakdown: res.Breakdown,
+		},
+	})
+	c.clock += res.Seconds
+}
+
+// Begin opens a phase span at the current simulated time. Spans nest; every
+// Begin must be paired with an End.
+func (c *Collector) Begin(name string) {
+	c.events = append(c.events, Event{Name: name, Cat: "phase", Start: c.clock, Dur: -1})
+	c.open = append(c.open, len(c.events)-1)
+}
+
+// End closes the innermost open phase span; its duration is the simulated
+// time of everything recorded inside it. End without a matching Begin is a
+// no-op.
+func (c *Collector) End() {
+	if len(c.open) == 0 {
+		return
+	}
+	i := c.open[len(c.open)-1]
+	c.open = c.open[:len(c.open)-1]
+	c.events[i].Dur = c.clock - c.events[i].Start
+}
+
+// Span records a leaf interval of the given simulated duration — the
+// modelled CPU colony stages use it — and advances the clock.
+func (c *Collector) Span(name string, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	c.events = append(c.events, Event{Name: name, Cat: "cpu", Start: c.clock, Dur: seconds})
+	c.clock += seconds
+}
+
+// AmendLastKernel replaces the most recent kernel event's duration and
+// detail with res and re-adjusts the clock. Engines that rescale a sampled
+// launch after the fact (the ant-stride extrapolation of the
+// scatter-to-gather kernels) use it so the timeline matches what they
+// report.
+func (c *Collector) AmendLastKernel(res *cuda.LaunchResult) {
+	for i := len(c.events) - 1; i >= 0; i-- {
+		e := &c.events[i]
+		if e.Cat != "kernel" {
+			continue
+		}
+		c.clock += res.Seconds - e.Dur
+		e.Dur = res.Seconds
+		e.Kernel.Stride = res.Stride
+		e.Kernel.Meter = res.Meter
+		e.Kernel.Breakdown = res.Breakdown
+		return
+	}
+}
+
+// Seconds returns the simulated time elapsed on the collector's timeline.
+func (c *Collector) Seconds() float64 { return c.clock }
+
+// Events returns the recorded timeline (kernels, phase spans, CPU stages)
+// in record order. The returned slice is the collector's own; do not
+// modify it.
+func (c *Collector) Events() []Event { return c.events }
+
+// KernelSeconds returns the total simulated time of all kernel events —
+// by construction equal to the sum every engine's StageResults report.
+func (c *Collector) KernelSeconds() float64 {
+	t := 0.0
+	for i := range c.events {
+		if c.events[i].Cat == "kernel" {
+			t += c.events[i].Dur
+		}
+	}
+	return t
+}
+
+func (e *Event) String() string {
+	return fmt.Sprintf("%s[%s] %.4f+%.4f ms", e.Name, e.Cat, e.Start*1e3, e.Dur*1e3)
+}

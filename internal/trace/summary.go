@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// KernelSummary aggregates every launch of one kernel name over the
+// collected timeline — the rows of the paper-style per-kernel cost tables.
+type KernelSummary struct {
+	Name              string
+	Calls             int
+	Seconds           float64 // total simulated time
+	Percent           float64 // share of total kernel time
+	GlobalTx          int64   // global memory transactions (incl. texture misses)
+	AtomicOps         int64
+	AtomicSerialExtra float64 // serialised extra atomic operations
+	DivergentExtra    float64 // divergence re-issues
+	Sampled           bool    // any launch used a sampling stride > 1
+}
+
+// Millis returns the kernel's total simulated time in milliseconds.
+func (k *KernelSummary) Millis() float64 { return k.Seconds * 1e3 }
+
+// Summary aggregates the leaf events — kernel launches and modelled CPU
+// stages — per name, ordered by total simulated time (descending, ties
+// broken by name so output is stable).
+func (c *Collector) Summary() []KernelSummary {
+	byName := map[string]*KernelSummary{}
+	var order []string
+	for i := range c.events {
+		e := &c.events[i]
+		if e.Cat != "kernel" && e.Cat != "cpu" {
+			continue
+		}
+		s := byName[e.Name]
+		if s == nil {
+			s = &KernelSummary{Name: e.Name}
+			byName[e.Name] = s
+			order = append(order, e.Name)
+		}
+		s.Calls++
+		s.Seconds += e.Dur
+		if k := e.Kernel; k != nil {
+			s.GlobalTx += k.Meter.GlobalTx()
+			s.AtomicOps += k.Meter.AtomicOps
+			s.AtomicSerialExtra += k.Meter.AtomicSerialExtra
+			s.DivergentExtra += k.Meter.DivergentExtra
+			if k.Stride > 1 {
+				s.Sampled = true
+			}
+		}
+	}
+	total := 0.0
+	for _, name := range order {
+		total += byName[name].Seconds
+	}
+	out := make([]KernelSummary, 0, len(order))
+	for _, name := range order {
+		s := *byName[name]
+		if total > 0 {
+			s.Percent = 100 * s.Seconds / total
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteSummary writes the per-kernel aggregate table as aligned text,
+// followed by a total row that equals the engines' accumulated simulated
+// time.
+func (c *Collector) WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "kernel\tcalls\tms\t%\tglobal tx\tatomic ops\tatomic serial\tdiverge extra\t")
+	for _, s := range c.Summary() {
+		name := s.Name
+		if s.Sampled {
+			name += "*"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.1f\t%d\t%d\t%.0f\t%.0f\t\n",
+			name, s.Calls, s.Millis(), s.Percent,
+			s.GlobalTx, s.AtomicOps, s.AtomicSerialExtra, s.DivergentExtra)
+	}
+	total := 0.0
+	for _, s := range c.Summary() {
+		total += s.Seconds
+	}
+	fmt.Fprintf(tw, "total\t\t%.4f\t100.0\t\t\t\t\t\n", total*1e3)
+	return tw.Flush()
+}
+
+// WriteSummaryCSV writes the per-kernel aggregates as CSV with a header
+// row (one line per kernel, no total row).
+func (c *Collector) WriteSummaryCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kernel,calls,ms,percent,global_tx,atomic_ops,atomic_serial_extra,divergent_extra,sampled"); err != nil {
+		return err
+	}
+	for _, s := range c.Summary() {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.6f,%.3f,%d,%d,%.0f,%.0f,%t\n",
+			s.Name, s.Calls, s.Millis(), s.Percent,
+			s.GlobalTx, s.AtomicOps, s.AtomicSerialExtra, s.DivergentExtra, s.Sampled); err != nil {
+			return err
+		}
+	}
+	return nil
+}
