@@ -32,6 +32,7 @@
 package antgpu
 
 import (
+	"context"
 	"fmt"
 
 	"antgpu/internal/aco"
@@ -66,7 +67,31 @@ type (
 	Trace = trace.Collector
 	// KernelSummary is one aggregated per-kernel row of a Trace summary.
 	KernelSummary = trace.KernelSummary
+	// FaultPlan is a seed-driven deterministic fault-injection plan for the
+	// simulated device: launch failures, watchdog timeouts, ECC bit flips
+	// and allocation failures at configurable rates.
+	FaultPlan = cuda.FaultPlan
+	// RecoveryOptions tune the fault-tolerant solver runtime (retry budget,
+	// backoff, CPU failover).
+	RecoveryOptions = core.RecoveryOptions
+	// RecoveryReport records what the fault-tolerant runtime did during a
+	// solve (faults, retries, resets, degradation).
+	RecoveryReport = core.RecoveryReport
 )
+
+// Typed device-fault errors, matchable with errors.Is on any error returned
+// by a GPU-backend Solve.
+var (
+	ErrLaunchFailed = cuda.ErrLaunchFailed
+	ErrOOM          = cuda.ErrOOM
+	ErrWatchdog     = cuda.ErrWatchdog
+	ErrECC          = cuda.ErrECC
+)
+
+// ParseFaultSpec parses a command-line fault specification like
+// "rate=0.02,sticky=0.1,seed=7" into a FaultPlan (see the -inject flag of
+// cmd/acotsp and cmd/acobench).
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return cuda.ParseFaultSpec(spec) }
 
 // Devices of the paper's evaluation.
 var (
@@ -199,6 +224,18 @@ type SolveOptions struct {
 	// run stays deterministic: profiling only observes, it never perturbs
 	// the simulated clock or the tours.
 	Profile bool
+	// Faults injects deterministic device faults into the simulated GPU
+	// (the plan is cloned, so the same options value always reproduces the
+	// same faults). For AlgorithmAS this also engages the fault-tolerant
+	// runtime; other algorithms surface the typed fault errors raw. GPU
+	// backend only — the CPU backend ignores it.
+	Faults *FaultPlan
+	// Recovery tunes the fault-tolerant runtime (checkpoint every
+	// iteration, bounded retry with backoff, device reset-and-replay,
+	// graceful CPU degradation). Setting it — or Faults — routes the solve
+	// through that runtime; it is supported for AlgorithmAS on the GPU
+	// backend without LocalSearch.
+	Recovery *RecoveryOptions
 }
 
 // Result reports a Solve run.
@@ -210,6 +247,9 @@ type Result struct {
 	SimulatedSeconds float64
 	// Trace holds the profiling timeline when SolveOptions.Profile is set.
 	Trace *Trace
+	// Recovery reports the fault-tolerant runtime's activity when the solve
+	// ran through it (SolveOptions.Faults or SolveOptions.Recovery set).
+	Recovery *RecoveryReport
 }
 
 // NewTrace returns an empty profiling collector for callers that drive an
@@ -228,19 +268,56 @@ func newTracer(opts SolveOptions) *trace.Collector {
 // Solve runs the Ant System on the instance and returns the best tour
 // found.
 func Solve(in *Instance, opts SolveOptions) (*Result, error) {
+	return SolveContext(context.Background(), in, opts)
+}
+
+// gpuDevice resolves the device option and installs a clone of the fault
+// plan on it, so repeated solves with the same options inject the same
+// faults.
+func gpuDevice(opts SolveOptions) *Device {
+	dev := opts.Device
+	if dev == nil {
+		dev = TeslaM2050()
+	}
+	if opts.Faults != nil {
+		dev.Faults = opts.Faults.Clone()
+	}
+	return dev
+}
+
+// SolveContext is Solve with cancellation: the context is checked between
+// iterations and its error returned promptly. No panic escapes — internal
+// failures come back as errors.
+func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("antgpu: internal error: %v", r)
+		}
+	}()
+	if in == nil {
+		return nil, fmt.Errorf("antgpu: nil instance")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Iterations <= 0 {
 		opts.Iterations = 20
 	}
 	if opts.Params.Rho == 0 {
 		opts.Params = DefaultParams()
 	}
+	if opts.Recovery != nil {
+		if opts.Algorithm != AlgorithmAS || opts.Backend != BackendGPU || opts.LocalSearch {
+			return nil, fmt.Errorf("antgpu: the fault-tolerant runtime supports AlgorithmAS on the GPU backend without local search")
+		}
+	}
 	switch opts.Algorithm {
 	case AlgorithmACS:
-		return solveACS(in, opts)
+		return solveACS(ctx, in, opts)
 	case AlgorithmMMAS:
-		return solveMMAS(in, opts)
+		return solveMMAS(ctx, in, opts)
 	case AlgorithmEAS, AlgorithmRank:
-		return solveVariant(in, opts)
+		return solveVariant(ctx, in, opts)
 	}
 	switch opts.Backend {
 	case BackendCPU:
@@ -255,13 +332,18 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 		var l int64
 		if opts.LocalSearch {
 			for i := 0; i < opts.Iterations; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				c.ConstructTours(opts.Variant)
 				c.LocalSearchTours(c.Ants())
 				c.UpdatePheromone()
 			}
 			tour, l = c.BestTour, c.BestLen
 		} else {
-			tour, l = c.Run(opts.Variant, opts.Iterations)
+			if tour, l, err = c.RunContext(ctx, opts.Variant, opts.Iterations); err != nil {
+				return nil, err
+			}
 		}
 		cpu := aco.DefaultCPU()
 		total := c.ConstructMeter
@@ -269,18 +351,7 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 		total.Add(&c.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := opts.Device
-		if dev == nil {
-			dev = TeslaM2050()
-		}
-		e, err := core.NewEngine(dev, in, opts.Params)
-		if err != nil {
-			return nil, err
-		}
-		tr := newTracer(opts)
-		if tr != nil {
-			e.SetTracer(tr)
-		}
+		dev := gpuDevice(opts)
 		tv := opts.Tour
 		if tv == 0 {
 			if in.N() <= 500 {
@@ -293,11 +364,36 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 		if pv == 0 {
 			pv = PherAtomicShared
 		}
+		if (opts.Faults != nil || opts.Recovery != nil) && !opts.LocalSearch {
+			var ro RecoveryOptions
+			if opts.Recovery != nil {
+				ro = *opts.Recovery
+			}
+			tr := newTracer(opts)
+			tour, l, secs, rep, err := core.RunRecovered(ctx, dev, in, opts.Params,
+				tv, pv, opts.Iterations, ro, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr, Recovery: rep}, nil
+		}
+		e, err := core.NewEngine(dev, in, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		defer e.Free()
+		tr := newTracer(opts)
+		if tr != nil {
+			e.SetTracer(tr)
+		}
 		var tour []int32
 		var l int64
 		var secs float64
 		if opts.LocalSearch {
 			for i := 0; i < opts.Iterations; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				res, err := e.IterateWithLocalSearch(tv, pv)
 				if err != nil {
 					return nil, err
@@ -306,7 +402,7 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 			}
 			tour, l = e.Best()
 		} else {
-			tour, l, secs, err = e.Run(tv, pv, opts.Iterations)
+			tour, l, secs, err = e.RunContext(ctx, tv, pv, opts.Iterations)
 			if err != nil {
 				return nil, err
 			}
@@ -318,7 +414,7 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 }
 
 // solveMMAS runs the Max-Min Ant System variant on either backend.
-func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
+func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
 	p := opts.MMAS
 	if p.Rho == 0 {
 		p = DefaultMMASParams()
@@ -333,21 +429,22 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 		tr := newTracer(opts)
 		c.Tracer = tr
 		c.ResetMeters()
-		tour, l := c.Run(opts.Variant, opts.Iterations)
+		tour, l, err := c.RunContext(ctx, opts.Variant, opts.Iterations)
+		if err != nil {
+			return nil, err
+		}
 		cpu := aco.DefaultCPU()
 		total := c.ConstructMeter
 		total.Add(&c.PheromoneMeter)
 		total.Add(&c.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := opts.Device
-		if dev == nil {
-			dev = TeslaM2050()
-		}
+		dev := gpuDevice(opts)
 		e, err := core.NewMMASEngine(dev, in, p)
 		if err != nil {
 			return nil, err
 		}
+		defer e.Free()
 		tr := newTracer(opts)
 		if tr != nil {
 			e.SetTracer(tr)
@@ -355,7 +452,7 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 		if opts.Tour != 0 {
 			e.SetTourVersion(opts.Tour)
 		}
-		tour, l, secs, err := e.Run(opts.Iterations)
+		tour, l, secs, err := e.RunContext(ctx, opts.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -367,7 +464,7 @@ func solveMMAS(in *Instance, opts SolveOptions) (*Result, error) {
 
 // solveVariant runs the Elitist or Rank-based Ant System on either backend
 // with the default variant parameters (e = m, w = 6).
-func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
+func solveVariant(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
 	tr := newTracer(opts)
 	switch opts.Backend {
 	case BackendCPU:
@@ -379,8 +476,8 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 			}
 			c.Tracer = tr
 			run = func() ([]int32, int64, *aco.Colony, error) {
-				tour, l := c.Run(opts.Variant, opts.Iterations)
-				return tour, l, c.Colony, nil
+				tour, l, err := c.RunContext(ctx, opts.Variant, opts.Iterations)
+				return tour, l, c.Colony, err
 			}
 		} else {
 			c, err := aco.NewRankColony(in, opts.Params, 0)
@@ -389,8 +486,8 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 			}
 			c.Tracer = tr
 			run = func() ([]int32, int64, *aco.Colony, error) {
-				tour, l := c.Run(opts.Variant, opts.Iterations)
-				return tour, l, c.Colony, nil
+				tour, l, err := c.RunContext(ctx, opts.Variant, opts.Iterations)
+				return tour, l, c.Colony, err
 			}
 		}
 		tour, l, col, err := run()
@@ -403,10 +500,7 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 		total.Add(&col.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := opts.Device
-		if dev == nil {
-			dev = TeslaM2050()
-		}
+		dev := gpuDevice(opts)
 		var tour []int32
 		var l int64
 		var secs float64
@@ -414,24 +508,26 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 		if opts.Algorithm == AlgorithmEAS {
 			var e *core.EASEngine
 			if e, err = core.NewEASEngine(dev, in, opts.Params, 0); err == nil {
+				defer e.Free()
 				if tr != nil {
 					e.SetTracer(tr)
 				}
 				if opts.Tour != 0 {
 					e.SetTourVersion(opts.Tour)
 				}
-				tour, l, secs, err = e.Run(opts.Iterations)
+				tour, l, secs, err = e.RunContext(ctx, opts.Iterations)
 			}
 		} else {
 			var r *core.RankEngine
 			if r, err = core.NewRankEngine(dev, in, opts.Params, 0); err == nil {
+				defer r.Free()
 				if tr != nil {
 					r.SetTracer(tr)
 				}
 				if opts.Tour != 0 {
 					r.SetTourVersion(opts.Tour)
 				}
-				tour, l, secs, err = r.Run(opts.Iterations)
+				tour, l, secs, err = r.RunContext(ctx, opts.Iterations)
 			}
 		}
 		if err != nil {
@@ -444,7 +540,7 @@ func solveVariant(in *Instance, opts SolveOptions) (*Result, error) {
 }
 
 // solveACS runs the Ant Colony System variant on either backend.
-func solveACS(in *Instance, opts SolveOptions) (*Result, error) {
+func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
 	p := opts.ACS
 	if p.Rho == 0 {
 		p = DefaultACSParams()
@@ -459,26 +555,27 @@ func solveACS(in *Instance, opts SolveOptions) (*Result, error) {
 		tr := newTracer(opts)
 		c.Tracer = tr
 		c.ResetMeters()
-		tour, l := c.Run(opts.Iterations)
+		tour, l, err := c.RunContext(ctx, opts.Iterations)
+		if err != nil {
+			return nil, err
+		}
 		cpu := aco.DefaultCPU()
 		total := c.ConstructMeter
 		total.Add(&c.PheromoneMeter)
 		total.Add(&c.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := opts.Device
-		if dev == nil {
-			dev = TeslaM2050()
-		}
+		dev := gpuDevice(opts)
 		e, err := core.NewACSEngine(dev, in, p)
 		if err != nil {
 			return nil, err
 		}
+		defer e.Free()
 		tr := newTracer(opts)
 		if tr != nil {
 			e.SetTracer(tr)
 		}
-		tour, l, secs, err := e.Run(opts.Iterations)
+		tour, l, secs, err := e.RunContext(ctx, opts.Iterations)
 		if err != nil {
 			return nil, err
 		}

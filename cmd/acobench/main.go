@@ -13,9 +13,11 @@
 //	acobench -csv                 # CSV instead of aligned text
 //	acobench -paper               # print the paper's published values too
 //	acobench -profile             # per-kernel profile of one AS iteration
+//	acobench -inject rate=0.02    # fault-injection demo vs the fault-free run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +53,8 @@ func run(args []string, stdout io.Writer) error {
 		converge = fs.String("converge", "", "convergence series on this instance (e.g. kroC100)")
 		profile  = fs.Bool("profile", false, "profile one full AS iteration per device on att48")
 		traceOut = fs.String("traceout", "", "with -profile, write the M2050 timeline as Chrome trace JSON")
+		inject   = fs.String("inject", "", "fault-injection demo: run the GPU Ant System under this fault spec "+
+			"(e.g. rate=0.02,seed=7) and compare against the fault-free run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +62,9 @@ func run(args []string, stdout io.Writer) error {
 
 	if *profile {
 		return runProfile(stdout, *traceOut)
+	}
+	if *inject != "" {
+		return runInject(stdout, *inject)
 	}
 	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
 		fs.Usage()
@@ -226,6 +233,49 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "Paper: up to ~%.2fx (C1060) / ~%.2fx (M2050) at pr1002, <1x at the small end on C1060\n\n",
 				bench.PaperFig5Peak["Tesla C1060"], bench.PaperFig5Peak["Tesla M2050"])
 		}
+	}
+	return nil
+}
+
+// runInject runs the fault-tolerant GPU Ant System under an injected fault
+// plan on a few benchmarks and reports whether the recovered result matches
+// the fault-free run, plus the recovery activity (retries, resets,
+// degradation to the CPU colony).
+func runInject(stdout io.Writer, spec string) error {
+	plan, err := cuda.ParseFaultSpec(spec)
+	if err != nil {
+		return err
+	}
+	p := aco.DefaultParams()
+	p.Seed = 1
+	const iters = 10
+	fmt.Fprintf(stdout, "fault injection: %s, Tesla M2050, AS (v6 + atomic-shared), %d iterations\n\n", spec, iters)
+	for _, name := range []string{"att48", "kroC100", "a280"} {
+		in, err := tsp.LoadBenchmark(name)
+		if err != nil {
+			return err
+		}
+		clean := cuda.TeslaM2050()
+		_, wantLen, _, _, err := core.RunRecovered(context.Background(), clean, in, p,
+			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil)
+		if err != nil {
+			return fmt.Errorf("fault-free run on %s: %w", name, err)
+		}
+		dev := cuda.TeslaM2050()
+		dev.Faults = plan.Clone()
+		_, gotLen, secs, rep, err := core.RunRecovered(context.Background(), dev, in, p,
+			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil)
+		if err != nil {
+			return fmt.Errorf("injected run on %s: %w", name, err)
+		}
+		verdict := "IDENTICAL to fault-free"
+		switch {
+		case rep.Degraded:
+			verdict = fmt.Sprintf("completed on CPU (fault-free best %d)", wantLen)
+		case gotLen != wantLen:
+			verdict = fmt.Sprintf("MISMATCH: fault-free best %d", wantLen)
+		}
+		fmt.Fprintf(stdout, "%-8s best %8d  %9.3f ms  %s\n         %s\n", name, gotLen, secs*1e3, verdict, rep)
 	}
 	return nil
 }

@@ -67,3 +67,16 @@ func TestRunRejectsNoMode(t *testing.T) {
 		t.Fatal("run without any mode should fail")
 	}
 }
+
+func TestSmokeInject(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-inject", "rate=0.02,seed=5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("IDENTICAL to fault-free")) {
+		t.Fatalf("injected sweep did not match the fault-free runs:\n%s", out.String())
+	}
+	if err := run([]string{"-inject", "nope"}, &out); err == nil {
+		t.Fatal("malformed -inject spec should fail")
+	}
+}

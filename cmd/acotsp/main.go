@@ -10,6 +10,8 @@
 //	acotsp -bench kroC100 -trace                        # per-iteration log
 //	acotsp -bench att48 -backend gpu -profile \
 //	       -traceout trace.json                         # profiler + Perfetto
+//	acotsp -bench att48 -backend gpu \
+//	       -inject rate=0.02,seed=7                     # fault-tolerant solve
 package main
 
 import (
@@ -52,12 +54,27 @@ func run(args []string, stdout io.Writer) error {
 		tourOut   = fs.String("tourout", "", "write the best tour to this TSPLIB .tour file")
 		profile   = fs.Bool("profile", false, "profile every kernel launch and phase; print the per-kernel summary")
 		traceOut  = fs.String("traceout", "", "write the profile as Chrome trace-event JSON (implies -profile)")
+		inject    = fs.String("inject", "", "inject deterministic device faults, e.g. rate=0.02,sticky=0.1,seed=7 "+
+			"(gpu backend; AS recovers via checkpoint/retry/CPU-failover, other algorithms fail fast)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceOut != "" {
 		*profile = true
+	}
+	var faults *antgpu.FaultPlan
+	if *inject != "" {
+		var err error
+		if faults, err = antgpu.ParseFaultSpec(*inject); err != nil {
+			return err
+		}
+		if *backend != "gpu" {
+			return fmt.Errorf("-inject needs -backend gpu (faults live on the simulated device)")
+		}
+		if *iterLog {
+			return fmt.Errorf("-inject is not supported with -trace (the traced run drives the engine directly)")
+		}
 	}
 
 	var in *antgpu.Instance
@@ -111,6 +128,7 @@ func run(args []string, stdout io.Writer) error {
 		clock := "modelled CPU"
 		if *backend == "gpu" {
 			opts.Backend = antgpu.BackendGPU
+			opts.Faults = faults
 			if strings.EqualFold(*device, "c1060") {
 				opts.Device = antgpu.TeslaC1060()
 			} else {
@@ -123,6 +141,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		reportRecovery(stdout, res.Recovery)
 		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, clock); err != nil {
 			return err
 		}
@@ -175,11 +194,12 @@ func run(args []string, stdout io.Writer) error {
 		res, err := antgpu.Solve(in, antgpu.SolveOptions{
 			Params: p, Iterations: *iters, Backend: antgpu.BackendGPU,
 			Device: dev, Tour: antgpu.TourVersion(*tourV), Pher: antgpu.PherVersion(*pherV),
-			LocalSearch: *ls, Profile: *profile,
+			LocalSearch: *ls, Profile: *profile, Faults: faults,
 		})
 		if err != nil {
 			return err
 		}
+		reportRecovery(stdout, res.Recovery)
 		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, "simulated GPU"); err != nil {
 			return err
 		}
@@ -194,6 +214,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer e.Free()
 	var tr *antgpu.Trace
 	if *profile {
 		tr = antgpu.NewTrace()
@@ -227,6 +248,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return emitProfile(stdout, tr, *traceOut)
+}
+
+// reportRecovery prints the fault-tolerant runtime's activity, if any.
+func reportRecovery(stdout io.Writer, rep *antgpu.RecoveryReport) {
+	if rep != nil {
+		fmt.Fprintln(stdout, rep)
+	}
 }
 
 // emitProfile prints the per-kernel summary and, when a path was given,

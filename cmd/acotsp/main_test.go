@@ -130,3 +130,35 @@ func TestRunRejectsMissingInstance(t *testing.T) {
 		t.Fatal("run without -bench/-file should fail")
 	}
 }
+
+func TestSmokeInject(t *testing.T) {
+	base := []string{"-bench", "att48", "-seed", "7", "-iters", "6", "-backend", "gpu"}
+	var clean bytes.Buffer
+	if err := run(base, &clean); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(append(base, "-inject", "rate=0.03,seed=9"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("recovery:")) {
+		t.Fatalf("no recovery report in output:\n%s", out.String())
+	}
+	// The recovered run reports the same best length as the fault-free run.
+	if got, want := bestLen(t, out.String()), bestLen(t, clean.String()); got != want {
+		t.Fatalf("injected run best %d, fault-free best %d", got, want)
+	}
+}
+
+func TestInjectRejectsBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "att48", "-inject", "rate=0.1"}, &out); err == nil {
+		t.Fatal("-inject on the CPU backend should fail")
+	}
+	if err := run([]string{"-bench", "att48", "-backend", "gpu", "-inject", "bogus"}, &out); err == nil {
+		t.Fatal("malformed -inject spec should fail")
+	}
+	if err := run([]string{"-bench", "att48", "-backend", "gpu", "-trace", "-inject", "rate=0.1"}, &out); err == nil {
+		t.Fatal("-inject with -trace should fail")
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			e.Free()
 			ms := stage.Millis()
 			if v == core.TourBaseline {
 				base = ms

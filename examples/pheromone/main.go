@@ -32,6 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer e.Free()
 	e.SampleBudget = 64 << 20
 	if _, err := e.ConstructTours(core.TourNNList); err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package aco
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -243,8 +244,18 @@ func (a *ACS) Iterate() {
 
 // Run executes iters iterations and returns the best tour and length.
 func (a *ACS) Run(iters int) ([]int32, int64) {
+	tour, l, _ := a.RunContext(context.Background(), iters)
+	return tour, l
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (a *ACS) RunContext(ctx context.Context, iters int) ([]int32, int64, error) {
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		a.Iterate()
 	}
-	return a.BestTour, a.BestLen
+	return a.BestTour, a.BestLen, nil
 }

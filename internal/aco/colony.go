@@ -1,6 +1,7 @@
 package aco
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -409,10 +410,20 @@ func (c *Colony) Iterate(v Variant) {
 // Run executes `iters` iterations and returns the best tour found and its
 // length.
 func (c *Colony) Run(v Variant, iters int) ([]int32, int64) {
+	tour, l, _ := c.RunContext(context.Background(), v, iters)
+	return tour, l
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (c *Colony) RunContext(ctx context.Context, v Variant, iters int) ([]int32, int64, error) {
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		c.Iterate(v)
 	}
-	return c.BestTour, c.BestLen
+	return c.BestTour, c.BestLen, nil
 }
 
 func min(a, b int) int {

@@ -1,6 +1,7 @@
 package aco
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -70,10 +71,20 @@ func (e *EAS) Iterate(v Variant) {
 
 // Run executes iters iterations and returns the best tour and length.
 func (e *EAS) Run(v Variant, iters int) ([]int32, int64) {
+	tour, l, _ := e.RunContext(context.Background(), v, iters)
+	return tour, l
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (e *EAS) RunContext(ctx context.Context, v Variant, iters int) ([]int32, int64, error) {
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		e.Iterate(v)
 	}
-	return e.BestTour, e.BestLen
+	return e.BestTour, e.BestLen, nil
 }
 
 // RankAS is a rank-based Ant System colony.
@@ -134,10 +145,20 @@ func (r *RankAS) Iterate(v Variant) {
 
 // Run executes iters iterations and returns the best tour and length.
 func (r *RankAS) Run(v Variant, iters int) ([]int32, int64) {
+	tour, l, _ := r.RunContext(context.Background(), v, iters)
+	return tour, l
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (r *RankAS) RunContext(ctx context.Context, v Variant, iters int) ([]int32, int64, error) {
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		r.Iterate(v)
 	}
-	return r.BestTour, r.BestLen
+	return r.BestTour, r.BestLen, nil
 }
 
 // BranchingFactor returns the average λ-branching factor of the pheromone

@@ -47,6 +47,7 @@ func pherTiledMillis(dev *cuda.Device, in *tsp.Instance, cfg Config, theta int) 
 	if err != nil {
 		return 0, err
 	}
+	defer e.Free()
 	e.SampleBudget = cfg.SampleBudget
 	if _, err := e.ConstructTours(core.TourNNList); err != nil {
 		return 0, err
@@ -85,6 +86,7 @@ func AblationDataBlock(dev *cuda.Device, cfg Config, sizes []int) (*Table, error
 			}
 			e.SampleBudget = cfg.SampleBudget
 			stage, err := e.ConstructTours(core.TourDataParallel)
+			e.Free()
 			if err != nil {
 				return nil, fmt.Errorf("block %d on %s: %w", size, in.Name, err)
 			}
@@ -120,6 +122,7 @@ func AblationNN(dev *cuda.Device, cfg Config, nns []int) (*Table, error) {
 			}
 			e.SampleBudget = cfg.SampleBudget
 			stage, err := e.ConstructTours(core.TourNNShared)
+			e.Free()
 			if err != nil {
 				return nil, fmt.Errorf("nn %d on %s: %w", nn, in.Name, err)
 			}

@@ -68,6 +68,7 @@ func ConvergenceSeries(dev *cuda.Device, instName string, checkpoints []int) (*T
 	if err != nil {
 		return nil, err
 	}
+	defer gpu.Free()
 	if err := series("AS, GPU (v8 + atomic)", func() (int64, error) {
 		res, err := gpu.Iterate(core.TourDataParallelTexture, core.PherAtomicShared)
 		if err != nil {
@@ -85,6 +86,7 @@ func ConvergenceSeries(dev *cuda.Device, instName string, checkpoints []int) (*T
 	if err != nil {
 		return nil, err
 	}
+	defer acs.Free()
 	if err := series("ACS, GPU", func() (int64, error) {
 		if _, err := acs.Iterate(); err != nil {
 			return 0, err
@@ -100,6 +102,7 @@ func ConvergenceSeries(dev *cuda.Device, instName string, checkpoints []int) (*T
 	if err != nil {
 		return nil, err
 	}
+	defer mmas.Free()
 	if err := series("MMAS, GPU", func() (int64, error) {
 		if _, err := mmas.Iterate(); err != nil {
 			return 0, err

@@ -48,6 +48,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer e.Free()
 			_, l, _, err := e.Run(core.TourDataParallelTexture, core.PherAtomicShared, iterations)
 			return l, err
 		}},
@@ -56,6 +57,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer e.Free()
 			_, l, _, err := e.Run(core.TourNNSharedTexture, core.PherAtomicShared, iterations)
 			return l, err
 		}},
@@ -64,6 +66,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer e.Free()
 			for i := 0; i < iterations; i++ {
 				if _, err := e.IterateWithLocalSearch(core.TourNNList, core.PherAtomicShared); err != nil {
 					return 0, err
@@ -77,6 +80,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer e.Free()
 			_, l, _, err := e.Run(iterations)
 			return l, err
 		}},
@@ -85,6 +89,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer r.Free()
 			_, l, _, err := r.Run(iterations)
 			return l, err
 		}},
@@ -95,6 +100,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer a.Free()
 			_, l, _, err := a.Run(iterations)
 			return l, err
 		}},
@@ -105,6 +111,7 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 			if err != nil {
 				return 0, err
 			}
+			defer m.Free()
 			_, l, _, err := m.Run(iterations)
 			return l, err
 		}},

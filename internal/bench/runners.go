@@ -96,6 +96,7 @@ func TableII(dev *cuda.Device, cfg Config) (*Table, error) {
 			}
 			e.SampleBudget = cfg.SampleBudget
 			stage, err := e.ConstructTours(v)
+			e.Free()
 			if err != nil {
 				return nil, fmt.Errorf("%v on %s: %w", v, in.Name, err)
 			}
@@ -139,6 +140,7 @@ func TablePheromone(dev *cuda.Device, cfg Config) (*Table, error) {
 		}
 		e.SampleBudget = cfg.SampleBudget
 		if _, err := e.ConstructTours(core.TourNNList); err != nil {
+			e.Free()
 			return nil, err
 		}
 		snapshot := make([]float64, len(e.Pheromone()))
@@ -147,14 +149,17 @@ func TablePheromone(dev *cuda.Device, cfg Config) (*Table, error) {
 		}
 		for _, v := range core.PherVersions {
 			if err := e.SetPheromone(snapshot); err != nil {
+				e.Free()
 				return nil, err
 			}
 			stage, err := e.UpdatePheromone(v)
 			if err != nil {
+				e.Free()
 				return nil, fmt.Errorf("%v on %s: %w", v, in.Name, err)
 			}
 			times[v][i] = stage.Millis()
 		}
+		e.Free()
 	}
 	for _, v := range core.PherVersions {
 		t.AddRow(v.String(), times[v])
@@ -219,6 +224,7 @@ func gpuConstructMillis(dev *cuda.Device, in *tsp.Instance, v core.TourVersion, 
 	if err != nil {
 		return 0, err
 	}
+	defer e.Free()
 	e.SampleBudget = cfg.SampleBudget
 	stage, err := e.ConstructTours(v)
 	if err != nil {
@@ -271,6 +277,7 @@ func Figure5(devices []*cuda.Device, cfg Config) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			defer e.Free()
 			e.SampleBudget = cfg.SampleBudget
 			if _, err := e.ConstructTours(core.TourNNList); err != nil {
 				return 0, err

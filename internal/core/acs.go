@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,12 +50,18 @@ func NewACSEngine(dev *cuda.Device, in *tsp.Instance, p aco.ACSParams) (*ACSEngi
 	cnn := in.TourLength(in.NearestNeighbourTour(0))
 	e.tau0 = 1 / (float64(in.N()) * float64(cnn))
 	e.pher.Fill(float32(e.tau0))
-	a := &ACSEngine{
-		Engine:  e,
-		PA:      p,
-		bestDev: cuda.MallocI32("best-tour", in.N()),
+	bestDev, err := dev.MallocI32("best-tour", in.N())
+	if err != nil {
+		e.Free()
+		return nil, fmt.Errorf("core: engine allocation: %w", err)
 	}
-	return a, nil
+	return &ACSEngine{Engine: e, PA: p, bestDev: bestDev}, nil
+}
+
+// Free releases the ACS engine's device buffers.
+func (a *ACSEngine) Free() {
+	a.bestDev.Free()
+	a.Engine.Free()
 }
 
 // ConstructTours launches the ACS data-parallel construction kernel: the
@@ -211,7 +218,7 @@ func (a *ACSEngine) ConstructTours() (*StageResult, error) {
 						}
 					}
 					if best < 0 {
-						panic("core: ACS selection found no city")
+						b.Failf("ACS selection found no city for ant %d at step %d", ant, step)
 					}
 					t.StShI32(nextSh, 0, best)
 				}
@@ -347,8 +354,17 @@ func (a *ACSEngine) Iterate() (*IterationResult, error) {
 // Run executes iters full ACS iterations and returns the best tour, its
 // length, and the accumulated simulated seconds.
 func (a *ACSEngine) Run(iters int) ([]int32, int64, float64, error) {
+	return a.RunContext(context.Background(), iters)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (a *ACSEngine) RunContext(ctx context.Context, iters int) ([]int32, int64, float64, error) {
 	total := 0.0
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		res, err := a.Iterate()
 		if err != nil {
 			return nil, 0, 0, err

@@ -136,18 +136,44 @@ func NewEngineWithOptions(dev *cuda.Device, in *tsp.Instance, p aco.Params, opt 
 	// padding in the ants tour array to avoid warp divergence".
 	e.tourPad = ((n + 1 + e.theta - 1) / e.theta) * e.theta
 
-	e.dist = cuda.MallocF32("dist", n*n)
+	// Device allocations are charged against GlobalMemBytes and can fail
+	// (genuinely or by injection); a partial engine frees what it got.
+	var allocErr error
+	mallocF32 := func(name string, sz int) *cuda.F32 {
+		if allocErr != nil {
+			return nil
+		}
+		var b *cuda.F32
+		b, allocErr = dev.MallocF32(name, sz)
+		return b
+	}
+	mallocI32 := func(name string, sz int) *cuda.I32 {
+		if allocErr != nil {
+			return nil
+		}
+		var b *cuda.I32
+		b, allocErr = dev.MallocI32(name, sz)
+		return b
+	}
+	e.dist = mallocF32("dist", n*n)
+	e.pher = mallocF32("pheromone", n*n)
+	e.choice = mallocF32("choice", n*n)
+	e.nnList = mallocI32("nnlist", n*e.nn)
+	e.tours = mallocI32("tours", e.m*e.tourPad)
+	e.lengths = mallocF32("lengths", e.m)
+	e.tabu = mallocI32("tabu", e.m*n)
+	e.randoms = mallocF32("randoms", e.m*n)
+	if allocErr == nil {
+		e.libRNG, allocErr = dev.MallocU64("librng", e.m*rng.LibStateWords)
+	}
+	if allocErr != nil {
+		e.Free()
+		return nil, fmt.Errorf("core: engine allocation: %w", allocErr)
+	}
 	for i, d := range in.Matrix() {
 		e.dist.Data()[i] = float32(d)
 	}
-	e.pher = cuda.MallocF32("pheromone", n*n)
-	e.choice = cuda.MallocF32("choice", n*n)
-	e.nnList = cuda.NewI32From("nnlist", in.NNList(e.nn))
-	e.tours = cuda.MallocI32("tours", e.m*e.tourPad)
-	e.lengths = cuda.MallocF32("lengths", e.m)
-	e.tabu = cuda.MallocI32("tabu", e.m*n)
-	e.randoms = cuda.MallocF32("randoms", e.m*n)
-	e.libRNG = cuda.MallocU64("librng", e.m*rng.LibStateWords)
+	copy(e.nnList.Data(), in.NNList(e.nn))
 	rng.SeedLibStates(e.libRNG, p.Seed^0xC0FFEE, e.m)
 
 	cnn := in.TourLength(in.NearestNeighbourTour(0))
@@ -155,6 +181,25 @@ func NewEngineWithOptions(dev *cuda.Device, in *tsp.Instance, p aco.Params, opt 
 	e.pher.Fill(float32(e.tau0))
 	e.bestLen = math.MaxInt64
 	return e, nil
+}
+
+// Free returns every device buffer of the engine to the device's
+// allocation accounting (the analogue of cudaFree). The host-side slices
+// remain readable — results captured from the engine stay valid — but the
+// engine must not launch kernels afterwards. Safe to call more than once
+// and on partially constructed engines.
+func (e *Engine) Free() {
+	e.dist.Free()
+	e.pher.Free()
+	e.choice.Free()
+	e.nnList.Free()
+	e.tours.Free()
+	e.lengths.Free()
+	e.posBuf.Free()
+	e.depositDev.Free()
+	e.tabu.Free()
+	e.randoms.Free()
+	e.libRNG.Free()
 }
 
 // Ants returns m.

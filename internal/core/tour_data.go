@@ -169,7 +169,7 @@ func (e *Engine) tourDataParallel(v TourVersion) (*cuda.LaunchResult, error) {
 						}
 					}
 					if best < 0 {
-						panic("core: data-parallel selection found no city")
+						b.Failf("data-parallel selection found no city for ant %d at step %d", ant, step)
 					}
 					t.StShI32(nextSh, 0, best)
 				}

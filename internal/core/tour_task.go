@@ -340,7 +340,7 @@ func (e *Engine) tourTask(v TourVersion) (*cuda.LaunchResult, error) {
 						t.Diverge(float64(n) * chargeBranch / 32.0)
 					}
 					if next < 0 {
-						panic("core: no feasible city in NN construction")
+						b.Failf("no feasible city in NN construction for ant %d at step %d", a, step)
 					}
 					d := t.LdF32(e.dist, c*n+next)
 					lenAcc[t.ID()] += d
@@ -402,7 +402,7 @@ func (e *Engine) tourTask(v TourVersion) (*cuda.LaunchResult, error) {
 						next = fallback // numeric underflow guard
 					}
 					if next < 0 {
-						panic("core: no feasible city in probabilistic construction")
+						b.Failf("no feasible city in probabilistic construction for ant %d at step %d", a, step)
 					}
 					d := t.LdF32(e.dist, c*n+next)
 					lenAcc[t.ID()] += d

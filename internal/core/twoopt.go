@@ -23,7 +23,10 @@ import (
 func (e *Engine) LocalSearchKernel() (*StageResult, error) {
 	defer e.span("2-opt")()
 	if e.posBuf == nil {
-		e.posBuf = cuda.MallocI32("positions", e.m*e.n)
+		var err error
+		if e.posBuf, err = e.Dev.MallocI32("positions", e.m*e.n); err != nil {
+			return nil, err
+		}
 	}
 	n, m, nn := e.n, e.m, e.nn
 	threads := 128

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,7 +25,10 @@ func (e *Engine) DepositTourKernel(tour []int32, delta float64, name string) (*c
 	}
 	defer e.span("deposit")()
 	if e.depositDev == nil {
-		e.depositDev = cuda.MallocI32("deposit-tour", n)
+		var err error
+		if e.depositDev, err = e.Dev.MallocI32("deposit-tour", n); err != nil {
+			return nil, err
+		}
 	}
 	copy(e.depositDev.Data(), tour)
 	d := float32(delta)
@@ -113,8 +117,17 @@ func (e *EASEngine) Iterate() (*IterationResult, error) {
 
 // Run executes iters EAS iterations.
 func (e *EASEngine) Run(iters int) ([]int32, int64, float64, error) {
+	return e.RunContext(context.Background(), iters)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (e *EASEngine) RunContext(ctx context.Context, iters int) ([]int32, int64, float64, error) {
 	total := 0.0
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		res, err := e.Iterate()
 		if err != nil {
 			return nil, 0, 0, err
@@ -201,8 +214,17 @@ func (r *RankEngine) Iterate() (*IterationResult, error) {
 
 // Run executes iters ASrank iterations.
 func (r *RankEngine) Run(iters int) ([]int32, int64, float64, error) {
+	return r.RunContext(context.Background(), iters)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// iterations and its error returned promptly.
+func (r *RankEngine) RunContext(ctx context.Context, iters int) ([]int32, int64, float64, error) {
 	total := 0.0
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		res, err := r.Iterate()
 		if err != nil {
 			return nil, 0, 0, err

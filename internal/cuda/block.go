@@ -180,6 +180,15 @@ func (b *Block) Sync() {
 	b.meter.ComputeIssues += float64(b.warps) * 2
 }
 
+// Failf aborts the launch with a formatted error: the kernel-side analogue
+// of asserting and trapping. The launch's Launch call returns the error
+// (annotated with the block index) instead of a result; the process does
+// not panic.
+func (b *Block) Failf(format string, args ...any) {
+	panic(kernelFailure{fmt.Errorf("cuda: kernel error in block %d: %s",
+		b.linear, fmt.Sprintf(format, args...))})
+}
+
 // Run executes one per-thread phase over all threads of the block, warp by
 // warp, and retires each warp's metered operations.
 func (b *Block) Run(f func(t *Thread)) {

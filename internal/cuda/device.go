@@ -1,6 +1,9 @@
 package cuda
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Device describes the simulated GPU. The fields mirror Table I of the
 // paper plus the handful of microarchitectural parameters the timing model
@@ -72,6 +75,16 @@ type Device struct {
 	// Observer, when non-nil, receives every completed launch on this
 	// device in issue order (the profiler hook; see internal/trace).
 	Observer LaunchObserver
+
+	// Faults, when non-nil, injects deterministic faults into launches and
+	// allocations on this device (see fault.go).
+	Faults *FaultPlan
+
+	// Fault and allocation-accounting state (fault.go).
+	mu         sync.Mutex
+	allocBytes int64
+	sticky     error
+	eccTargets []eccTarget
 }
 
 // TeslaC1060 returns the GT200-class device of the paper (CUDA compute

@@ -1,0 +1,230 @@
+package cuda
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// launchNoop launches a trivial one-block kernel on dev.
+func launchNoop(dev *Device, buf *F32) (*LaunchResult, error) {
+	cfg := LaunchConfig{Grid: Dim3{X: 1, Y: 1, Z: 1}, Block: Dim3{X: 32, Y: 1, Z: 1}}
+	return Launch(dev, cfg, "noop", func(b *Block) {
+		b.Run(func(t *Thread) {
+			if g := t.GlobalID(); buf != nil && g < buf.Len() {
+				t.StF32(buf, g, float32(g))
+			}
+		})
+	})
+}
+
+func TestAllocationAccounting(t *testing.T) {
+	dev := TeslaM2050()
+	dev.GlobalMemBytes = 1024
+
+	a, err := dev.MallocF32("a", 128) // 512 bytes
+	if err != nil {
+		t.Fatalf("MallocF32: %v", err)
+	}
+	if got := dev.AllocatedBytes(); got != 512 {
+		t.Fatalf("AllocatedBytes = %d, want 512", got)
+	}
+	if _, err := dev.MallocI32("b", 200); !errors.Is(err, ErrOOM) {
+		t.Fatalf("over-capacity malloc: got %v, want ErrOOM", err)
+	}
+	b, err := dev.MallocU64("c", 64) // 512 bytes, exactly fits
+	if err != nil {
+		t.Fatalf("MallocU64 at capacity: %v", err)
+	}
+	if got := dev.AllocatedBytes(); got != 1024 {
+		t.Fatalf("AllocatedBytes = %d, want 1024", got)
+	}
+
+	a.Free()
+	b.Free()
+	a.Free() // idempotent
+	if got := dev.AllocatedBytes(); got != 0 {
+		t.Fatalf("AllocatedBytes after Free = %d, want 0", got)
+	}
+
+	// Unbound package-level allocations are never charged.
+	MallocF32("unbound", 1<<20)
+	if got := dev.AllocatedBytes(); got != 0 {
+		t.Fatalf("unbound malloc charged the device: %d bytes", got)
+	}
+	var nilBuf *F32
+	nilBuf.Free() // nil-safe
+}
+
+func TestInjectionDeterminism(t *testing.T) {
+	plan := &FaultPlan{Seed: 42, LaunchRate: 0.05, WatchdogRate: 0.03, ECCRate: 0.02}
+	run := func() []string {
+		dev := TeslaM2050()
+		dev.Faults = plan.Clone()
+		var faults []string
+		for i := 0; i < 400; i++ {
+			if _, err := launchNoop(dev, nil); err != nil {
+				faults = append(faults, err.Error())
+				dev.Reset()
+			}
+		}
+		return faults
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("400 launches at 10% combined rate injected no faults")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fault counts differ across identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	var launch, wd, ecc int
+	for _, msg := range a {
+		switch {
+		case strings.Contains(msg, "launch failed"):
+			launch++
+		case strings.Contains(msg, "watchdog"):
+			wd++
+		case strings.Contains(msg, "ECC"):
+			ecc++
+		}
+	}
+	if launch == 0 || wd == 0 || ecc == 0 {
+		t.Fatalf("expected every fault kind over 400 launches, got launch=%d watchdog=%d ecc=%d",
+			launch, wd, ecc)
+	}
+}
+
+func TestStickyFaultUntilReset(t *testing.T) {
+	dev := TeslaM2050()
+	dev.Faults = &FaultPlan{Seed: 3, LaunchRate: 1, StickyRate: 1, MaxFaults: 1}
+
+	_, err := launchNoop(dev, nil)
+	if !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("first launch: got %v, want ErrLaunchFailed", err)
+	}
+	// Budget exhausted, but the context is poisoned: everything fails.
+	if _, err := launchNoop(dev, nil); !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("launch on poisoned context: got %v, want sticky ErrLaunchFailed", err)
+	}
+	if _, err := dev.MallocF32("x", 8); !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("malloc on poisoned context: got %v, want sticky ErrLaunchFailed", err)
+	}
+	if dev.Healthy() == nil {
+		t.Fatal("Healthy() = nil on poisoned context")
+	}
+
+	dev.Reset()
+	if dev.Healthy() != nil {
+		t.Fatalf("Healthy() after Reset: %v", dev.Healthy())
+	}
+	if _, err := launchNoop(dev, nil); err != nil {
+		t.Fatalf("launch after Reset: %v", err)
+	}
+	if got := dev.AllocatedBytes(); got != 0 {
+		t.Fatalf("AllocatedBytes after Reset = %d, want 0", got)
+	}
+}
+
+func TestECCFlipCorruptsBuffer(t *testing.T) {
+	dev := TeslaM2050()
+	buf, err := dev.MallocF32("target", 32)
+	if err != nil {
+		t.Fatalf("MallocF32: %v", err)
+	}
+	dev.Faults = &FaultPlan{Seed: 9, ECCRate: 1, MaxFaults: 1}
+
+	_, err = launchNoop(dev, buf)
+	if !errors.Is(err, ErrECC) {
+		t.Fatalf("got %v, want ErrECC", err)
+	}
+	// The kernel wrote buf[i] = i before the flip; exactly one element must
+	// now differ from that.
+	diffs := 0
+	for i, v := range buf.Data() {
+		if v != float32(i) {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("ECC flip corrupted %d elements, want exactly 1", diffs)
+	}
+	// Injection done (MaxFaults=1): the same launch now repairs the buffer.
+	if _, err := launchNoop(dev, buf); err != nil {
+		t.Fatalf("post-fault launch: %v", err)
+	}
+	for i, v := range buf.Data() {
+		if v != float32(i) {
+			t.Fatalf("buf[%d] = %g after rewrite, want %d", i, v, i)
+		}
+	}
+}
+
+func TestWatchdogBudget(t *testing.T) {
+	dev := TeslaM2050()
+	dev.Faults = &FaultPlan{Seed: 1, WatchdogMS: 1e-12}
+	_, err := launchNoop(dev, nil)
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("got %v, want ErrWatchdog for an impossible budget", err)
+	}
+	// Budget overruns are deterministic, not injections: they recur.
+	if _, err := launchNoop(dev, nil); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("second launch: got %v, want ErrWatchdog again", err)
+	}
+	dev.Faults.WatchdogMS = 1e9
+	if _, err := launchNoop(dev, nil); err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+}
+
+func TestBlockFailf(t *testing.T) {
+	dev := TeslaM2050()
+	cfg := LaunchConfig{Grid: Dim3{X: 2, Y: 1, Z: 1}, Block: Dim3{X: 32, Y: 1, Z: 1}}
+	_, err := Launch(dev, cfg, "failing", func(b *Block) {
+		b.Failf("no feasible city for ant %d", 7)
+	})
+	if err == nil || !strings.Contains(err.Error(), "no feasible city for ant 7") {
+		t.Fatalf("Failf error = %v, want diagnostic message", err)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	p, err := ParseFaultSpec("rate=0.02,seed=7,sticky=0.5,watchdogms=50,max=3")
+	if err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	if p.Seed != 7 || p.LaunchRate != 0.02 || p.WatchdogRate != 0.02 ||
+		p.ECCRate != 0.02 || p.OOMRate != 0.02 || p.StickyRate != 0.5 ||
+		p.WatchdogMS != 50 || p.MaxFaults != 3 {
+		t.Fatalf("ParseFaultSpec parsed %+v", p)
+	}
+	if p, err = ParseFaultSpec("launch=0.1,ecc=0.05"); err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	if p.LaunchRate != 0.1 || p.ECCRate != 0.05 || p.OOMRate != 0 {
+		t.Fatalf("ParseFaultSpec parsed %+v", p)
+	}
+	for _, bad := range []string{"rate=2", "rate=-1", "bogus=1", "rate", "seed=x", "max=-2"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("ParseFaultSpec(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestInjectedOOM(t *testing.T) {
+	dev := TeslaM2050()
+	dev.Faults = &FaultPlan{Seed: 5, OOMRate: 1, MaxFaults: 1}
+	if _, err := dev.MallocF32("x", 8); !errors.Is(err, ErrOOM) {
+		t.Fatalf("got %v, want injected ErrOOM", err)
+	}
+	if got := dev.AllocatedBytes(); got != 0 {
+		t.Fatalf("failed alloc charged %d bytes", got)
+	}
+	if _, err := dev.MallocF32("y", 8); err != nil {
+		t.Fatalf("post-budget malloc: %v", err)
+	}
+}

@@ -60,6 +60,19 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 	if err := cfg.Validate(dev); err != nil {
 		return nil, err
 	}
+	if err := dev.Healthy(); err != nil {
+		return nil, fmt.Errorf("cuda: launch %s: device context corrupt: %w", name, err)
+	}
+	var kind FaultKind
+	var sticky bool
+	if p := dev.Faults; p != nil {
+		kind, sticky = p.drawLaunch()
+		if kind == FaultLaunch {
+			err := fmt.Errorf("cuda: launch %s: injected failure: %w", name, ErrLaunchFailed)
+			dev.poison(sticky, err)
+			return nil, err
+		}
+	}
 	blocks := cfg.Blocks()
 	stride := chooseStride(&cfg)
 
@@ -154,6 +167,30 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 		Stride:    stride,
 	}
 	res.Seconds, res.Breakdown = EstimateTime(dev, &cfg, &total)
+
+	// Post-run faults: the kernel already executed functionally, so its
+	// writes remain in device buffers (exactly the hazard a real watchdog
+	// kill or ECC event leaves behind); the caller must treat the device
+	// state as suspect and recover from a checkpoint.
+	if p := dev.Faults; p != nil {
+		switch {
+		case kind == FaultECC:
+			detail := dev.flipECCBit(p)
+			err := fmt.Errorf("cuda: launch %s: %s: %w", name, detail, ErrECC)
+			dev.poison(sticky, err)
+			return nil, err
+		case kind == FaultWatchdog:
+			err := fmt.Errorf("cuda: launch %s: injected kill after %.3f ms: %w",
+				name, res.Millis(), ErrWatchdog)
+			dev.poison(sticky, err)
+			return nil, err
+		case p.WatchdogMS > 0 && res.Millis() > p.WatchdogMS:
+			// Deterministic budget overrun: not an injection draw, so it
+			// recurs on every retry — the failover path, not the retry path.
+			return nil, fmt.Errorf("cuda: launch %s: ran %.3f ms, watchdog budget %.3f ms: %w",
+				name, res.Millis(), p.WatchdogMS, ErrWatchdog)
+		}
+	}
 	if dev.Observer != nil {
 		dev.Observer.ObserveLaunch(&cfg, res)
 	}
@@ -195,21 +232,20 @@ func applyCrossBlockAtomics(total *Meter, addrs map[uint64]addrStat, f float64) 
 	total.AtomicDistinctAddr = sharedCnt + int64(float64(privCnt)*f+0.5)
 }
 
-// MustLaunch is Launch for callers with statically valid configurations; it
-// panics on configuration errors.
-func MustLaunch(dev *Device, cfg LaunchConfig, name string, k Kernel) *LaunchResult {
-	r, err := Launch(dev, cfg, name, k)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
+// kernelFailure wraps an error raised from inside a kernel via Block.Failf
+// so runBlock can distinguish a deliberate kernel error (returned verbatim)
+// from an accidental panic (wrapped with block diagnostics).
+type kernelFailure struct{ err error }
 
 // runBlock executes one block, converting kernel panics into errors so a
 // broken kernel fails the launch rather than the process.
 func runBlock(b *Block, k Kernel) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if kf, ok := r.(kernelFailure); ok {
+				err = kf.err
+				return
+			}
 			err = fmt.Errorf("cuda: kernel fault in block %d: %v", b.linear, r)
 		}
 	}()

@@ -21,7 +21,7 @@ import (
 // phase span, or a modelled CPU stage.
 type Event struct {
 	Name  string
-	Cat   string  // "kernel", "phase" or "cpu"
+	Cat   string  // "kernel", "phase", "cpu" or "fault"
 	Start float64 // simulated seconds since the collector started
 	Dur   float64 // simulated seconds; -1 while a phase span is still open
 	// Kernel holds the launch detail of "kernel" events, nil otherwise.
@@ -102,6 +102,17 @@ func (c *Collector) Span(name string, seconds float64) {
 		seconds = 0
 	}
 	c.events = append(c.events, Event{Name: name, Cat: "cpu", Start: c.clock, Dur: seconds})
+	c.clock += seconds
+}
+
+// Fault records a fault or recovery interval of the given simulated
+// duration — the fault-tolerant runtime uses it for injected faults,
+// retry backoff, device resets and CPU failover — and advances the clock.
+func (c *Collector) Fault(name string, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	c.events = append(c.events, Event{Name: name, Cat: "fault", Start: c.clock, Dur: seconds})
 	c.clock += seconds
 }
 

@@ -1,0 +1,52 @@
+package tsp_test
+
+import (
+	"strings"
+	"testing"
+
+	"antgpu/internal/tsp"
+)
+
+// FuzzParse feeds arbitrary bytes to the TSPLIB parser. The property under
+// test: Parse either returns an error or an instance that satisfies every
+// solver invariant (Validate passes, nearest-neighbour construction yields
+// a valid tour with a non-negative length) — it never panics and never
+// accepts an instance a solver would choke on.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"NAME : t\nTYPE : TSP\nDIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n" +
+			"NODE_COORD_SECTION\n1 0 0\n2 3 4\n3 6 8\nEOF\n",
+		"DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : FULL_MATRIX\n" +
+			"EDGE_WEIGHT_SECTION\n0 1 2\n1 0 3\n2 3 0\nEOF\n",
+		"DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : UPPER_ROW\n" +
+			"EDGE_WEIGHT_SECTION\n1 2 3\nEOF\n",
+		"DIMENSION : 3\nEDGE_WEIGHT_TYPE : GEO\n" +
+			"NODE_COORD_SECTION\n1 0.0 0.0\n2 10.30 20.10\n3 -45.59 90.0\nEOF\n",
+		"DIMENSION : 3\nEDGE_WEIGHT_TYPE : ATT\n" +
+			"NODE_COORD_SECTION\n1 0 0\n2 1e300 -1e300\n3 1 1\nEOF\n",
+		"DIMENSION : 2147483647\n",
+		"DIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_SECTION\nNaN 1e300 -5\n",
+		"DIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\n" +
+			"NODE_COORD_SECTION\n1 NaN Inf\n2 0 0\n3 1 1\nEOF\n",
+		"EDGE_WEIGHT_SECTION\n0 0 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := tsp.Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an instance Validate rejects: %v", verr)
+		}
+		tour := in.NearestNeighbourTour(0)
+		if terr := in.ValidTour(tour); terr != nil {
+			t.Fatalf("NN tour on parsed instance invalid: %v", terr)
+		}
+		if l := in.TourLength(tour); l < 0 {
+			t.Fatalf("NN tour length overflowed: %d", l)
+		}
+	})
+}

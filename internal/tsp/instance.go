@@ -7,9 +7,31 @@
 package tsp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrInvalidInstance is wrapped by every instance-validation failure, so
+// callers can match the whole class with errors.Is.
+var ErrInvalidInstance = errors.New("invalid instance")
+
+// MaxDimension caps the instance size: the solvers allocate Θ(n²) memory,
+// so an absurd DIMENSION in an untrusted TSPLIB file must fail cleanly
+// instead of exhausting the host.
+const MaxDimension = 100000
+
+// MaxCoord caps coordinate magnitude. With |X|, |Y| <= 1e8 every supported
+// distance function stays far below MaxInt32 (EUC_2D at most ~2.9e8), so a
+// crafted file cannot overflow the int32 distance matrix into negative
+// values (the conversion result for an out-of-range float is
+// implementation-dependent). TSPLIB benchmark coordinates are below 1e7.
+const MaxCoord = 1e8
+
+// invalidf builds an instance-validation error wrapping ErrInvalidInstance.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("tsp: %w: %s", ErrInvalidInstance, fmt.Sprintf(format, args...))
+}
 
 // EdgeWeightType enumerates the TSPLIB distance functions supported.
 type EdgeWeightType string
@@ -56,7 +78,19 @@ func (in *Instance) Matrix() []int32 { return in.matrix }
 func New(name string, typ EdgeWeightType, coords []Point) (*Instance, error) {
 	n := len(coords)
 	if n < 3 {
-		return nil, fmt.Errorf("tsp: instance %q has %d cities, need at least 3", name, n)
+		return nil, invalidf("instance %q has %d cities, need at least 3", name, n)
+	}
+	if n > MaxDimension {
+		return nil, invalidf("instance %q has %d cities, cap is %d", name, n, MaxDimension)
+	}
+	for i, p := range coords {
+		if !isFinite(p.X) || !isFinite(p.Y) {
+			return nil, invalidf("instance %q: coordinate %d is not finite (%g, %g)", name, i, p.X, p.Y)
+		}
+		if math.Abs(p.X) > MaxCoord || math.Abs(p.Y) > MaxCoord {
+			return nil, invalidf("instance %q: coordinate %d magnitude exceeds %g (%g, %g)",
+				name, i, float64(MaxCoord), p.X, p.Y)
+		}
 	}
 	dist, err := distanceFunc(typ)
 	if err != nil {
@@ -79,16 +113,23 @@ func New(name string, typ EdgeWeightType, coords []Point) (*Instance, error) {
 // symmetrised from its upper triangle.
 func NewExplicit(name string, n int, matrix []int32) (*Instance, error) {
 	if n < 3 {
-		return nil, fmt.Errorf("tsp: instance %q has %d cities, need at least 3", name, n)
+		return nil, invalidf("instance %q has %d cities, need at least 3", name, n)
+	}
+	if n > MaxDimension {
+		return nil, invalidf("instance %q has %d cities, cap is %d", name, n, MaxDimension)
 	}
 	if len(matrix) != n*n {
-		return nil, fmt.Errorf("tsp: instance %q: matrix has %d entries, want %d", name, len(matrix), n*n)
+		return nil, invalidf("instance %q: matrix has %d entries, want %d", name, len(matrix), n*n)
 	}
 	m := make([]int32, n*n)
 	copy(m, matrix)
 	for i := 0; i < n; i++ {
 		m[i*n+i] = 0
 		for j := i + 1; j < n; j++ {
+			if m[i*n+j] < 0 {
+				return nil, invalidf("instance %q: negative distance %d between %d and %d",
+					name, m[i*n+j], i, j)
+			}
 			m[j*n+i] = m[i*n+j]
 		}
 	}
@@ -146,7 +187,15 @@ func DistGeo(a, b Point) int32 {
 	q1 := math.Cos(lon1 - lon2)
 	q2 := math.Cos(lat1 - lat2)
 	q3 := math.Cos(lat1 + lat2)
-	return int32(rrr*math.Acos(0.5*((1.0+q1)*q2-(1.0-q1)*q3)) + 1.0)
+	// Rounding can push the cosine a hair outside [-1, 1], where Acos
+	// returns NaN; clamp to the domain.
+	q := 0.5 * ((1.0+q1)*q2 - (1.0-q1)*q3)
+	if q > 1 {
+		q = 1
+	} else if q < -1 {
+		q = -1
+	}
+	return int32(rrr*math.Acos(q) + 1.0)
 }
 
 func geoRad(x float64) float64 {
@@ -167,6 +216,47 @@ func (in *Instance) TourLength(tour []int32) int64 {
 	}
 	sum += int64(in.Dist(int(tour[len(tour)-1]), int(tour[0])))
 	return sum
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Validate checks the structural invariants every solver relies on: a sane
+// dimension, a full symmetric matrix with non-negative finite distances,
+// and finite coordinates. Instances built through New/NewExplicit/Parse
+// satisfy it by construction; Solve re-checks so a zero or corrupted
+// Instance fails with a typed error instead of a panic deep in a kernel.
+func (in *Instance) Validate() error {
+	if in == nil {
+		return invalidf("nil instance")
+	}
+	if in.n < 3 {
+		return invalidf("instance %q has %d cities, need at least 3", in.Name, in.n)
+	}
+	if in.n > MaxDimension {
+		return invalidf("instance %q has %d cities, cap is %d", in.Name, in.n, MaxDimension)
+	}
+	if len(in.matrix) != in.n*in.n {
+		return invalidf("instance %q: matrix has %d entries, want %d", in.Name, len(in.matrix), in.n*in.n)
+	}
+	if len(in.Coords) != 0 && len(in.Coords) != in.n {
+		return invalidf("instance %q: %d coordinates for %d cities", in.Name, len(in.Coords), in.n)
+	}
+	for i, p := range in.Coords {
+		if !isFinite(p.X) || !isFinite(p.Y) {
+			return invalidf("instance %q: coordinate %d is not finite (%g, %g)", in.Name, i, p.X, p.Y)
+		}
+	}
+	for i := 0; i < in.n; i++ {
+		if d := in.matrix[i*in.n+i]; d != 0 {
+			return invalidf("instance %q: self-distance %d at city %d", in.Name, d, i)
+		}
+		for j := i + 1; j < in.n; j++ {
+			if d := in.matrix[i*in.n+j]; d < 0 {
+				return invalidf("instance %q: negative distance %d between %d and %d", in.Name, d, i, j)
+			}
+		}
+	}
+	return nil
 }
 
 // ValidTour reports whether tour is a permutation of 0..n-1.

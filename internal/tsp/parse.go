@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -72,6 +73,11 @@ func Parse(r io.Reader) (*Instance, error) {
 			if numeric {
 				for _, tok := range f {
 					v, _ := strconv.ParseFloat(tok, 64)
+					// int32(v) on an out-of-range float is platform-defined;
+					// reject instead of silently wrapping.
+					if math.IsNaN(v) || v < 0 || v > math.MaxInt32 {
+						return nil, invalidf("edge weight %q out of range [0, %d]", tok, math.MaxInt32)
+					}
 					weights = append(weights, int32(v))
 				}
 				continue
@@ -96,6 +102,9 @@ func Parse(r io.Reader) (*Instance, error) {
 			d, err := strconv.Atoi(val)
 			if err != nil || d < 1 {
 				return nil, fmt.Errorf("tsp: bad DIMENSION %q", val)
+			}
+			if d > MaxDimension {
+				return nil, invalidf("DIMENSION %d exceeds cap %d", d, MaxDimension)
 			}
 			dim = d
 			coords = make([]Point, dim)
