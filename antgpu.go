@@ -38,6 +38,7 @@ import (
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
+	"antgpu/internal/sched"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
@@ -87,6 +88,11 @@ var (
 	ErrWatchdog     = cuda.ErrWatchdog
 	ErrECC          = cuda.ErrECC
 )
+
+// ErrInvalidParams is wrapped by every parameter-validation failure (AS,
+// ACS and MMAS alike): out-of-range α, β, ρ, ant counts, NN widths, q0, ξ.
+// Match it with errors.Is to distinguish bad parameters from device faults.
+var ErrInvalidParams = aco.ErrInvalidParams
 
 // ParseFaultSpec parses a command-line fault specification like
 // "rate=0.02,sticky=0.1,seed=7" into a FaultPlan (see the -inject flag of
@@ -197,7 +203,11 @@ type SolveOptions struct {
 	// MMAS are the Max-Min Ant System parameters, used when Algorithm is
 	// AlgorithmMMAS; zero value selects DefaultMMASParams.
 	MMAS MMASParams
-	// Params are the AS parameters; zero value selects DefaultParams.
+	// Params are the AS parameters. Zero-valued fields are treated as unset
+	// and filled from DefaultParams one by one, so Params{Seed: 42} runs
+	// with the default α, β, ρ and NN but seed 42. The same per-field rule
+	// applies to ACS and MMAS (whose unset Seed additionally falls back to
+	// Params.Seed). Out-of-range values fail with ErrInvalidParams.
 	Params Params
 	// Iterations is the number of AS iterations (default 20).
 	Iterations int
@@ -236,6 +246,12 @@ type SolveOptions struct {
 	// through that runtime; it is supported for AlgorithmAS on the GPU
 	// backend without LocalSearch.
 	Recovery *RecoveryOptions
+
+	// cache, when non-nil, is the batch pool's shared derived-data cache
+	// (set by Pool/SolveBatch before dispatching each request). Cached data
+	// is deterministic, so a cached and an uncached solve of the same
+	// request return byte-identical results.
+	cache *sched.Cache
 }
 
 // Result reports a Solve run.
@@ -271,18 +287,31 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 	return SolveContext(context.Background(), in, opts)
 }
 
-// gpuDevice resolves the device option and installs a clone of the fault
-// plan on it, so repeated solves with the same options inject the same
-// faults.
+// gpuDevice resolves the device option clone-on-solve: the solve always
+// runs on a private copy of the caller's device model, carrying its own
+// fault plan (a clone of SolveOptions.Faults, so repeated solves with the
+// same options inject the same faults — or no plan at all when none was
+// requested), allocation accounting and observer hook. The caller's
+// *Device is never written, so one device value can back any number of
+// concurrent solves.
 func gpuDevice(opts SolveOptions) *Device {
 	dev := opts.Device
 	if dev == nil {
 		dev = TeslaM2050()
+	} else {
+		dev = dev.Clone()
 	}
-	if opts.Faults != nil {
-		dev.Faults = opts.Faults.Clone()
-	}
+	dev.Faults = opts.Faults.Clone()
 	return dev
+}
+
+// derivedData fetches the shared instance-derived data from the batch
+// cache, or nil for a standalone solve (engines then compute their own).
+func derivedData(opts SolveOptions, in *Instance, nn int) *tsp.Derived {
+	if opts.cache == nil {
+		return nil
+	}
+	return opts.cache.Derived(in, nn)
 }
 
 // SolveContext is Solve with cancellation: the context is checked between
@@ -303,9 +332,10 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 	if opts.Iterations <= 0 {
 		opts.Iterations = 20
 	}
-	if opts.Params.Rho == 0 {
-		opts.Params = DefaultParams()
-	}
+	// Default only unset (zero-valued) fields: a Params{Seed: 42} keeps its
+	// seed, a deliberate Alpha/Beta/Ants survives. Out-of-range values are
+	// rejected by the engines with ErrInvalidParams.
+	opts.Params = opts.Params.WithDefaults()
 	if opts.Recovery != nil {
 		if opts.Algorithm != AlgorithmAS || opts.Backend != BackendGPU || opts.LocalSearch {
 			return nil, fmt.Errorf("antgpu: the fault-tolerant runtime supports AlgorithmAS on the GPU backend without local search")
@@ -321,7 +351,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 	}
 	switch opts.Backend {
 	case BackendCPU:
-		c, err := aco.New(in, opts.Params)
+		c, err := aco.NewWithDerived(in, opts.Params, derivedData(opts, in, opts.Params.NN))
 		if err != nil {
 			return nil, err
 		}
@@ -377,7 +407,8 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			}
 			return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr, Recovery: rep}, nil
 		}
-		e, err := core.NewEngine(dev, in, opts.Params)
+		e, err := core.NewEngineWithOptions(dev, in, opts.Params,
+			core.EngineOptions{Derived: derivedData(opts, in, opts.Params.NN)})
 		if err != nil {
 			return nil, err
 		}
@@ -413,13 +444,11 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 	}
 }
 
-// solveMMAS runs the Max-Min Ant System variant on either backend.
+// solveMMAS runs the Max-Min Ant System variant on either backend. Like
+// the AS path, only unset (zero-valued) MMAS fields are defaulted; the
+// seed falls back to opts.Params.Seed when unset.
 func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
-	p := opts.MMAS
-	if p.Rho == 0 {
-		p = DefaultMMASParams()
-		p.Seed = opts.Params.Seed
-	}
+	p := opts.MMAS.WithDefaults(opts.Params.Seed)
 	switch opts.Backend {
 	case BackendCPU:
 		c, err := aco.NewMMASColony(in, p)
@@ -539,13 +568,11 @@ func solveVariant(ctx context.Context, in *Instance, opts SolveOptions) (*Result
 	}
 }
 
-// solveACS runs the Ant Colony System variant on either backend.
+// solveACS runs the Ant Colony System variant on either backend. Like the
+// AS path, only unset (zero-valued) ACS fields are defaulted; the seed
+// falls back to opts.Params.Seed when unset.
 func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
-	p := opts.ACS
-	if p.Rho == 0 {
-		p = DefaultACSParams()
-		p.Seed = opts.Params.Seed
-	}
+	p := opts.ACS.WithDefaults(opts.Params.Seed)
 	switch opts.Backend {
 	case BackendCPU:
 		c, err := aco.NewACSColony(in, p)

@@ -1,0 +1,175 @@
+package antgpu
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"antgpu/internal/sched"
+	"antgpu/internal/trace"
+)
+
+// SolveRequest is one solve of a batch: an instance plus the same options
+// a standalone Solve takes — any backend, algorithm, device model, kernel
+// versions or fault plan. Requests in one batch are fully independent; the
+// scheduler only shares the read-only derived data of repeated instances.
+type SolveRequest struct {
+	Instance *Instance
+	Options  SolveOptions
+}
+
+// PoolOptions configure a Pool (and SolveBatch, its one-shot form).
+type PoolOptions struct {
+	// Workers bounds the number of solves in flight at once. Zero selects
+	// runtime.GOMAXPROCS(0) — one worker per schedulable CPU.
+	Workers int
+	// DisableCache turns off the shared derived-data cache, making every
+	// solve recompute its instance's distance conversion, NN lists and
+	// greedy-NN tour length. Results are identical either way; disable it
+	// only to bound memory when a pool sees an unbounded instance stream.
+	DisableCache bool
+}
+
+// BatchItem pairs one request's result with its error. Exactly one of the
+// two is non-nil.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// BatchReport aggregates one SolveBatch run.
+type BatchReport struct {
+	// Results holds one item per request, in request order.
+	Results []BatchItem
+	// CacheHits and CacheMisses count this batch's derived-data cache
+	// traffic: a miss computes an instance's derived data, a hit shares it.
+	// A batch that repeats an instance (same content, same NN width)
+	// reports at least one hit.
+	CacheHits, CacheMisses int64
+	// SimulatedSeconds sums the per-request simulated times — the cost on
+	// the modelled hardware, independent of host parallelism.
+	SimulatedSeconds float64
+	// WallSeconds is the host wall-clock time of the whole batch.
+	WallSeconds float64
+	// Trace lays the profiled requests' timelines (those with
+	// Options.Profile set) end to end on one merged collector, each wrapped
+	// in a span named after its request index and instance. Nil when no
+	// request profiled.
+	Trace *Trace
+}
+
+// Errs returns the number of failed requests.
+func (r *BatchReport) Errs() int {
+	n := 0
+	for _, it := range r.Results {
+		if it.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Pool runs batches of independent solves across a bounded set of worker
+// goroutines, sharing a derived-data cache across all batches it serves.
+// A Pool is safe for concurrent use; the zero value is not ready — use
+// NewPool. For one-off batches, SolveBatch is the convenience form.
+//
+// Every GPU solve resolves its device clone-on-solve (Device.Clone), so
+// requests may share one *Device and one *Instance freely: the scheduler
+// never writes caller-owned state, and per-request results are
+// byte-identical to running the same requests through sequential Solve
+// calls.
+type Pool struct {
+	workers int
+	cache   *sched.Cache
+}
+
+// NewPool returns a Pool with the given options.
+func NewPool(opts PoolOptions) *Pool {
+	p := &Pool{workers: opts.Workers}
+	if !opts.DisableCache {
+		p.cache = sched.NewCache()
+	}
+	return p
+}
+
+// CacheStats returns the pool's cumulative derived-data cache hit and miss
+// counts across all batches served.
+func (p *Pool) CacheStats() (hits, misses int64) { return p.cache.Stats() }
+
+// SolveBatch runs every request and returns their results in request
+// order. Failures are per-request (BatchItem.Err); the batch itself only
+// fails on a nil pool. The context is checked between iterations of every
+// running solve and before each queued solve starts, so cancellation
+// drains the batch promptly, failing unstarted requests with ctx.Err().
+func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchReport, error) {
+	if p == nil {
+		return nil, fmt.Errorf("antgpu: SolveBatch on a nil Pool")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hits0, misses0 := p.cache.Stats()
+	start := time.Now()
+
+	rep := &BatchReport{Results: make([]BatchItem, len(reqs))}
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	errs := sched.Run(ctx, len(reqs), workers, func(ctx context.Context, i int) error {
+		opts := reqs[i].Options
+		opts.cache = p.cache
+		res, err := SolveContext(ctx, reqs[i].Instance, opts)
+		rep.Results[i] = BatchItem{Result: res, Err: err}
+		return err
+	})
+	// Requests the scheduler never started (context cancelled before their
+	// turn) have no BatchItem yet — their error only exists in the
+	// scheduler's slice.
+	for i, err := range errs {
+		if err != nil && rep.Results[i].Result == nil && rep.Results[i].Err == nil {
+			rep.Results[i].Err = err
+		}
+	}
+
+	rep.WallSeconds = time.Since(start).Seconds()
+	hits1, misses1 := p.cache.Stats()
+	rep.CacheHits, rep.CacheMisses = hits1-hits0, misses1-misses0
+
+	var merged *trace.Collector
+	for i, it := range rep.Results {
+		if it.Result == nil {
+			continue
+		}
+		rep.SimulatedSeconds += it.Result.SimulatedSeconds
+		if it.Result.Trace != nil {
+			if merged == nil {
+				merged = trace.NewCollector()
+			}
+			name := fmt.Sprintf("req[%d]", i)
+			if reqs[i].Instance != nil {
+				name += " " + reqs[i].Instance.Name
+			}
+			merged.Begin(name)
+			merged.Merge(it.Result.Trace)
+			merged.End()
+		}
+	}
+	rep.Trace = merged
+	return rep, nil
+}
+
+// SolveBatch runs many independent solves — any mix of backends,
+// algorithms, devices and fault plans — across bounded worker goroutines
+// and returns their results in request order with per-request errors.
+// Requests repeating an instance share its derived data (distance
+// conversion, NN lists, greedy-NN tour length) read-only through a
+// content-hash-keyed cache; every GPU request runs on a private clone of
+// its device. Results are byte-identical to sequential Solve calls over
+// the same requests. For repeated batches sharing one cache, build a Pool
+// once and call its SolveBatch method.
+func SolveBatch(ctx context.Context, reqs []SolveRequest, opts PoolOptions) (*BatchReport, error) {
+	return NewPool(opts).SolveBatch(ctx, reqs)
+}

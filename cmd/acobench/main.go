@@ -14,6 +14,7 @@
 //	acobench -paper               # print the paper's published values too
 //	acobench -profile             # per-kernel profile of one AS iteration
 //	acobench -inject rate=0.02    # fault-injection demo vs the fault-free run
+//	acobench -batch -batchjson BENCH_batch.json   # batch-scheduler throughput
 package main
 
 import (
@@ -55,6 +56,11 @@ func run(args []string, stdout io.Writer) error {
 		traceOut = fs.String("traceout", "", "with -profile, write the M2050 timeline as Chrome trace JSON")
 		inject   = fs.String("inject", "", "fault-injection demo: run the GPU Ant System under this fault spec "+
 			"(e.g. rate=0.02,seed=7) and compare against the fault-free run")
+		batch     = fs.Bool("batch", false, "batch-scheduler throughput benchmark: concurrent SolveBatch vs sequential solves")
+		batchJSON = fs.String("batchjson", "", "with -batch, also write the result as JSON (the BENCH_batch.json trajectory)")
+		workers   = fs.Int("workers", 0, "with -batch, worker goroutines (0 = GOMAXPROCS)")
+		seeds     = fs.Int("seeds", 0, "with -batch, independent seeds per instance (0 = default)")
+		iters     = fs.Int("iters", 0, "with -batch, AS iterations per solve (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +71,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *inject != "" {
 		return runInject(stdout, *inject)
+	}
+	if *batch {
+		return runBatch(stdout, *batchJSON, *workers, *seeds, *iters)
 	}
 	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
 		fs.Usage()
@@ -233,6 +242,35 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "Paper: up to ~%.2fx (C1060) / ~%.2fx (M2050) at pr1002, <1x at the small end on C1060\n\n",
 				bench.PaperFig5Peak["Tesla C1060"], bench.PaperFig5Peak["Tesla M2050"])
 		}
+	}
+	return nil
+}
+
+// runBatch measures the batch scheduler's wall-clock speed-up over
+// sequential solving and its derived-data cache hit rate, printing the
+// summary and optionally writing the BENCH_batch.json trajectory file.
+func runBatch(stdout io.Writer, jsonPath string, workers, seeds, iters int) error {
+	r, err := bench.BatchThroughput(bench.BatchConfig{Workers: workers, Seeds: seeds, Iterations: iters})
+	if err != nil {
+		return err
+	}
+	r.Format(stdout)
+	if !r.Identical {
+		return fmt.Errorf("batch results diverged from sequential solves")
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
 	}
 	return nil
 }

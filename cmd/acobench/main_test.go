@@ -80,3 +80,35 @@ func TestSmokeInject(t *testing.T) {
 		t.Fatal("malformed -inject spec should fail")
 	}
 }
+
+func TestSmokeBatchMode(t *testing.T) {
+	jsonFile := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	var out bytes.Buffer
+	err := run([]string{"-batch", "-seeds", "3", "-iters", "2", "-batchjson", jsonFile}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"batch throughput:", "identical results: true", "cache"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("batch output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Requests  int     `json:"requests"`
+		Identical bool    `json:"identical"`
+		HitRate   float64 `json:"cache_hit_rate"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("-batchjson file is not valid JSON: %v", err)
+	}
+	if decoded.Requests != 6 || !decoded.Identical {
+		t.Fatalf("bad BENCH_batch.json payload: %s", raw)
+	}
+	if decoded.HitRate <= 0 {
+		t.Fatalf("no cache hits recorded: %s", raw)
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -50,7 +51,9 @@ func run(args []string, stdout io.Writer) error {
 		iterLog   = fs.Bool("trace", false, "log per-iteration best and stage times (gpu backend)")
 		alg       = fs.String("alg", "as", "algorithm: as, acs, mmas, eas or rank")
 		ls        = fs.Bool("ls", false, "apply 2-opt local search to every ant's tour (AS only)")
-		runs      = fs.Int("runs", 1, "independent parallel runs, best-of (CPU AS only)")
+		runs      = fs.Int("runs", 1, "independent runs with consecutive seeds, best-of (AS; "+
+			"the gpu backend schedules them concurrently)")
+		workers   = fs.Int("workers", 0, "worker goroutines for -runs on the gpu backend (0 = GOMAXPROCS)")
 		tourOut   = fs.String("tourout", "", "write the best tour to this TSPLIB .tour file")
 		profile   = fs.Bool("profile", false, "profile every kernel launch and phase; print the per-kernel summary")
 		traceOut  = fs.String("traceout", "", "write the profile as Chrome trace-event JSON (implies -profile)")
@@ -189,6 +192,45 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown device %q (want c1060 or m2050)", *device)
 	}
 	fmt.Fprintf(stdout, "device: %s\n", dev)
+
+	if *runs > 1 && !*iterLog {
+		// Best-of over consecutive seeds, scheduled concurrently: every run
+		// solves on a private clone of dev and the runs share the instance's
+		// derived data through the batch pool's cache.
+		reqs := make([]antgpu.SolveRequest, *runs)
+		for i := range reqs {
+			pi := p
+			pi.Seed = *seed + uint64(i)
+			reqs[i] = antgpu.SolveRequest{Instance: in, Options: antgpu.SolveOptions{
+				Params: pi, Iterations: *iters, Backend: antgpu.BackendGPU,
+				Device: dev, Tour: antgpu.TourVersion(*tourV), Pher: antgpu.PherVersion(*pherV),
+				LocalSearch: *ls, Faults: faults,
+			}}
+		}
+		rep, err := antgpu.SolveBatch(context.Background(), reqs, antgpu.PoolOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		best := -1
+		for i, it := range rep.Results {
+			if it.Err != nil {
+				return fmt.Errorf("run %d (seed %d): %w", i, *seed+uint64(i), it.Err)
+			}
+			if best < 0 || it.Result.BestLen < rep.Results[best].Result.BestLen {
+				best = i
+			}
+		}
+		fmt.Fprintf(stdout, "best of %d concurrent GPU runs (seed %d): "+
+			"%.3f s wall, %.3f s simulated total, cache %d hits / %d misses\n",
+			*runs, *seed+uint64(best), rep.WallSeconds, rep.SimulatedSeconds,
+			rep.CacheHits, rep.CacheMisses)
+		res := rep.Results[best].Result
+		reportRecovery(stdout, res.Recovery)
+		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, "simulated GPU"); err != nil {
+			return err
+		}
+		return writeTour(stdout, *tourOut, in, res.BestTour)
+	}
 
 	if !*iterLog {
 		res, err := antgpu.Solve(in, antgpu.SolveOptions{

@@ -162,3 +162,35 @@ func TestInjectRejectsBadUsage(t *testing.T) {
 		t.Fatal("-inject with -trace should fail")
 	}
 }
+
+func TestSmokeGPURuns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bench", "att48", "-seed", "7", "-iters", "3",
+		"-backend", "gpu", "-runs", "4", "-workers", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("best of 4 concurrent GPU runs")) {
+		t.Fatalf("no best-of header in output:\n%s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("cache 3 hits / 1 misses")) {
+		t.Fatalf("runs did not share derived data:\n%s", out.String())
+	}
+	multi := bestLen(t, out.String())
+
+	// The best-of must match the best of four sequential single runs.
+	bestSolo := 0
+	for s := 7; s <= 10; s++ {
+		var solo bytes.Buffer
+		if err := run([]string{"-bench", "att48", "-seed", strconv.Itoa(s), "-iters", "3",
+			"-backend", "gpu"}, &solo); err != nil {
+			t.Fatal(err)
+		}
+		if l := bestLen(t, solo.String()); bestSolo == 0 || l < bestSolo {
+			bestSolo = l
+		}
+	}
+	if multi != bestSolo {
+		t.Fatalf("best-of-4 reported %d, sequential best is %d", multi, bestSolo)
+	}
+}

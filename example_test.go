@@ -1,6 +1,7 @@
 package antgpu_test
 
 import (
+	"context"
 	"fmt"
 
 	"antgpu"
@@ -51,6 +52,47 @@ func ExampleSolve_acs() {
 	fmt.Println(res.BestLen < greedy) // ACS beats the greedy tour quickly
 	// Output:
 	// true
+}
+
+// Solving many independent requests concurrently. The requests share one
+// device model and one instance — every solve runs on a private clone, the
+// repeated instance's derived data is computed once and shared, and each
+// result is byte-identical to what a sequential Solve would return.
+func ExampleSolveBatch() {
+	in, _ := antgpu.LoadBenchmark("att48")
+	dev := antgpu.TeslaM2050()
+	reqs := make([]antgpu.SolveRequest, 4)
+	for i := range reqs {
+		reqs[i] = antgpu.SolveRequest{Instance: in, Options: antgpu.SolveOptions{
+			Iterations: 5,
+			Backend:    antgpu.BackendGPU,
+			Device:     dev,
+			Params:     antgpu.Params{Seed: uint64(i + 1)},
+		}}
+	}
+	rep, _ := antgpu.SolveBatch(context.Background(), reqs, antgpu.PoolOptions{Workers: 2})
+	fmt.Println(rep.Errs() == 0 && len(rep.Results) == 4)
+	solo, _ := antgpu.Solve(in, reqs[2].Options)
+	fmt.Println(rep.Results[2].Result.BestLen == solo.BestLen)
+	fmt.Println(rep.CacheHits >= 3) // derived data computed once, shared 3 times
+	// Output:
+	// true
+	// true
+	// true
+}
+
+// A Pool keeps its derived-data cache across batches, so a service solving
+// request streams pays each instance's Θ(n² log n) setup once.
+func ExampleNewPool() {
+	in, _ := antgpu.LoadBenchmark("att48")
+	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: 2})
+	req := []antgpu.SolveRequest{{Instance: in, Options: antgpu.SolveOptions{Iterations: 3}}}
+	pool.SolveBatch(context.Background(), req)
+	pool.SolveBatch(context.Background(), req)
+	hits, misses := pool.CacheStats()
+	fmt.Println(hits, misses)
+	// Output:
+	// 1 1
 }
 
 // Benchmarks lists the paper's TSPLIB instance set.

@@ -2,7 +2,6 @@ package aco
 
 import (
 	"context"
-	"fmt"
 	"math"
 
 	"antgpu/internal/rng"
@@ -39,16 +38,35 @@ func DefaultACSParams() ACSParams {
 	return ACSParams{Params: p, Q0: 0.9, Xi: 0.1}
 }
 
-// Validate checks ACS parameter sanity.
+// WithDefaults returns a copy of p with every zero-valued (unset) field
+// replaced by its DefaultACSParams value; a zero Seed falls back to seed
+// first (the AS seed of the enclosing solve options). Note the ACS default
+// ant count is 10, so an unset Ants selects 10, not m = n.
+func (p ACSParams) WithDefaults(seed uint64) ACSParams {
+	def := DefaultACSParams()
+	if p.Seed == 0 {
+		p.Seed = seed
+	}
+	p.Params = p.Params.withDefaultsFrom(def.Params)
+	if p.Q0 == 0 {
+		p.Q0 = def.Q0
+	}
+	if p.Xi == 0 {
+		p.Xi = def.Xi
+	}
+	return p
+}
+
+// Validate checks ACS parameter sanity. Failures wrap ErrInvalidParams.
 func (p *ACSParams) Validate(n int) error {
 	if err := p.Params.Validate(n); err != nil {
 		return err
 	}
 	if p.Q0 < 0 || p.Q0 > 1 {
-		return fmt.Errorf("aco: q0 = %v out of [0, 1]", p.Q0)
+		return invalidf("q0 = %v out of [0, 1]", p.Q0)
 	}
 	if p.Xi <= 0 || p.Xi >= 1 {
-		return fmt.Errorf("aco: xi = %v out of (0, 1)", p.Xi)
+		return invalidf("xi = %v out of (0, 1)", p.Xi)
 	}
 	return nil
 }

@@ -76,6 +76,15 @@ type Colony struct {
 // C^nn is the length of a greedy nearest-neighbour tour, as recommended by
 // Dorigo & Stützle for the Ant System.
 func New(in *tsp.Instance, p Params) (*Colony, error) {
+	return NewWithDerived(in, p, nil)
+}
+
+// NewWithDerived is New drawing the instance-derived read-only data (the
+// nearest-neighbour lists and the greedy NN tour length) from d instead of
+// recomputing it — the shared-cache path of batch solving. d must match the
+// instance and the colony's effective NN width; nil recomputes everything.
+// The colony aliases d.List without copying, so d must stay immutable.
+func NewWithDerived(in *tsp.Instance, p Params, d *tsp.Derived) (*Colony, error) {
 	if err := p.Validate(in.N()); err != nil {
 		return nil, err
 	}
@@ -86,16 +95,26 @@ func New(in *tsp.Instance, p Params) (*Colony, error) {
 		n:  n,
 		nn: min(p.NN, n-1),
 	}
+	if d != nil && (d.N != n || d.NN != c.nn) {
+		return nil, fmt.Errorf("aco: derived data shape (n=%d, nn=%d) does not match colony (n=%d, nn=%d)",
+			d.N, d.NN, n, c.nn)
+	}
 	c.Pher = make([]float64, n*n)
 	c.Choice = make([]float64, n*n)
-	c.nnList = in.NNList(c.nn)
 	c.Tours = make([]int32, c.m*n)
 	c.Lengths = make([]int64, c.m)
 	c.visited = make([]bool, n)
 	c.probs = make([]float64, n)
 	c.BestLen = math.MaxInt64
 
-	cnn := in.TourLength(in.NearestNeighbourTour(0))
+	var cnn int64
+	if d != nil {
+		c.nnList = d.List
+		cnn = d.CNN
+	} else {
+		c.nnList = in.NNList(c.nn)
+		cnn = in.TourLength(in.NearestNeighbourTour(0))
+	}
 	c.tau0 = float64(c.m) / float64(cnn)
 	for i := range c.Pher {
 		c.Pher[i] = c.tau0

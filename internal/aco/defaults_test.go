@@ -1,0 +1,98 @@
+package aco
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWithDefaultsFillsOnlyUnsetFields(t *testing.T) {
+	def := DefaultParams()
+
+	got := Params{}.WithDefaults()
+	if got != def {
+		t.Errorf("zero Params.WithDefaults() = %+v, want %+v", got, def)
+	}
+
+	got = Params{Seed: 42}.WithDefaults()
+	want := def
+	want.Seed = 42
+	if got != want {
+		t.Errorf("Params{Seed: 42}.WithDefaults() = %+v, want %+v", got, want)
+	}
+
+	// Fully set params pass through untouched.
+	full := Params{Alpha: 3, Beta: 4, Rho: 0.9, Ants: 7, NN: 12, Seed: 99}
+	if got := full.WithDefaults(); got != full {
+		t.Errorf("full params were modified: %+v", got)
+	}
+}
+
+func TestMMASWithDefaultsSeedFallback(t *testing.T) {
+	got := MMASParams{}.WithDefaults(77)
+	if got.Seed != 77 {
+		t.Errorf("unset MMAS seed = %d, want the fallback 77", got.Seed)
+	}
+	def := DefaultMMASParams()
+	if got.Rho != def.Rho || got.BestEvery != def.BestEvery || got.StagnationReset != def.StagnationReset {
+		t.Errorf("MMAS defaults not applied: %+v", got)
+	}
+
+	got = MMASParams{Params: Params{Seed: 5}, BestEvery: 10}.WithDefaults(77)
+	if got.Seed != 5 || got.BestEvery != 10 || got.StagnationReset != def.StagnationReset {
+		t.Errorf("set MMAS fields were overridden: %+v", got)
+	}
+}
+
+func TestACSWithDefaultsSeedFallbackAndAnts(t *testing.T) {
+	got := ACSParams{}.WithDefaults(33)
+	def := DefaultACSParams()
+	if got.Seed != 33 {
+		t.Errorf("unset ACS seed = %d, want the fallback 33", got.Seed)
+	}
+	if got.Ants != def.Ants || got.Q0 != def.Q0 || got.Xi != def.Xi || got.Rho != def.Rho {
+		t.Errorf("ACS defaults not applied: %+v (want ants %d, q0 %v, xi %v, rho %v)",
+			got, def.Ants, def.Q0, def.Xi, def.Rho)
+	}
+
+	got = ACSParams{Params: Params{Ants: 25}, Q0: 0.5}.WithDefaults(33)
+	if got.Ants != 25 || got.Q0 != 0.5 || got.Xi != def.Xi {
+		t.Errorf("set ACS fields were overridden: %+v", got)
+	}
+}
+
+func TestValidateWrapsErrInvalidParams(t *testing.T) {
+	cases := []error{
+		func() error { p := Params{Alpha: 1, Beta: 2, Rho: 0, NN: 30}; return p.Validate(48) }(),
+		func() error { p := Params{Alpha: 1, Beta: 2, Rho: 2, NN: 30}; return p.Validate(48) }(),
+		func() error { p := Params{Alpha: -1, Beta: 2, Rho: 0.5, NN: 30}; return p.Validate(48) }(),
+		func() error { p := Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 0}; return p.Validate(48) }(),
+		func() error { p := Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 30, Ants: -1}; return p.Validate(48) }(),
+		func() error { p := Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 30}; return p.Validate(2) }(),
+		func() error {
+			p := MMASParams{Params: Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 30}, BestEvery: 0, StagnationReset: 10}
+			return p.Validate(48)
+		}(),
+		func() error {
+			p := ACSParams{Params: Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 30}, Q0: -0.1, Xi: 0.1}
+			return p.Validate(48)
+		}(),
+		func() error {
+			p := ACSParams{Params: Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 30}, Q0: 0.9, Xi: 1}
+			return p.Validate(48)
+		}(),
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("case %d: %v does not wrap ErrInvalidParams", i, err)
+		}
+	}
+
+	p := Params{Alpha: 1, Beta: 2, Rho: 0.5, NN: 30}
+	if err := p.Validate(48); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}

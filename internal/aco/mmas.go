@@ -2,7 +2,6 @@ package aco
 
 import (
 	"context"
-	"fmt"
 	"math"
 
 	"antgpu/internal/tsp"
@@ -36,16 +35,35 @@ func DefaultMMASParams() MMASParams {
 	return MMASParams{Params: p, BestEvery: 25, StagnationReset: 250}
 }
 
-// Validate checks MMAS parameter sanity.
+// WithDefaults returns a copy of p with every zero-valued (unset) field
+// replaced by its DefaultMMASParams value; a zero Seed falls back to seed
+// first (the AS seed of the enclosing solve options), so a caller setting
+// only the base seed still steers the MMAS random streams.
+func (p MMASParams) WithDefaults(seed uint64) MMASParams {
+	def := DefaultMMASParams()
+	if p.Seed == 0 {
+		p.Seed = seed
+	}
+	p.Params = p.Params.withDefaultsFrom(def.Params)
+	if p.BestEvery == 0 {
+		p.BestEvery = def.BestEvery
+	}
+	if p.StagnationReset == 0 {
+		p.StagnationReset = def.StagnationReset
+	}
+	return p
+}
+
+// Validate checks MMAS parameter sanity. Failures wrap ErrInvalidParams.
 func (p *MMASParams) Validate(n int) error {
 	if err := p.Params.Validate(n); err != nil {
 		return err
 	}
 	if p.BestEvery < 1 {
-		return fmt.Errorf("aco: MMAS BestEvery = %d, need >= 1", p.BestEvery)
+		return invalidf("MMAS BestEvery = %d, need >= 1", p.BestEvery)
 	}
 	if p.StagnationReset < 1 {
-		return fmt.Errorf("aco: MMAS StagnationReset = %d, need >= 1", p.StagnationReset)
+		return invalidf("MMAS StagnationReset = %d, need >= 1", p.StagnationReset)
 	}
 	return nil
 }

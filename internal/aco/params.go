@@ -8,7 +8,20 @@
 // deterministic methodology as the simulated GPU side.
 package aco
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidParams is wrapped by every parameter-validation failure (AS,
+// ACS and MMAS alike), so callers can match the whole class with errors.Is
+// and distinguish "the parameters are wrong" from runtime faults.
+var ErrInvalidParams = errors.New("aco: invalid parameters")
+
+// invalidf builds a parameter-validation error wrapping ErrInvalidParams.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidParams, fmt.Sprintf(format, args...))
+}
 
 // Params are the Ant System parameters. Defaults follow Dorigo & Stützle,
 // "Ant Colony Optimization" (2004), the source the paper cites for its
@@ -28,22 +41,58 @@ func DefaultParams() Params {
 	return Params{Alpha: 1, Beta: 2, Rho: 0.5, Ants: 0, NN: 30, Seed: 1}
 }
 
-// Validate checks parameter sanity for an instance of n cities.
+// withDefaultsFrom returns a copy of p with every zero-valued field
+// replaced by the corresponding field of def. Zero means "unset" here —
+// the one representable sentinel Go gives a plain struct — so fields the
+// caller did set are never touched, and a Params{Seed: 42} keeps its seed
+// while picking up the default α, β, ρ and NN.
+func (p Params) withDefaultsFrom(def Params) Params {
+	if p.Alpha == 0 {
+		p.Alpha = def.Alpha
+	}
+	if p.Beta == 0 {
+		p.Beta = def.Beta
+	}
+	if p.Rho == 0 {
+		p.Rho = def.Rho
+	}
+	if p.Ants == 0 {
+		p.Ants = def.Ants
+	}
+	if p.NN == 0 {
+		p.NN = def.NN
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	return p
+}
+
+// WithDefaults returns a copy of p with every zero-valued (unset) field
+// replaced by its DefaultParams value, leaving set fields alone. Ants
+// stays zero (zero already means m = n). Out-of-range values are not
+// corrected here; Validate rejects them with ErrInvalidParams.
+func (p Params) WithDefaults() Params {
+	return p.withDefaultsFrom(DefaultParams())
+}
+
+// Validate checks parameter sanity for an instance of n cities. Failures
+// wrap ErrInvalidParams.
 func (p *Params) Validate(n int) error {
 	if p.Alpha < 0 || p.Beta < 0 {
-		return fmt.Errorf("aco: negative alpha/beta (%v, %v)", p.Alpha, p.Beta)
+		return invalidf("negative alpha/beta (%v, %v)", p.Alpha, p.Beta)
 	}
 	if p.Rho <= 0 || p.Rho > 1 {
-		return fmt.Errorf("aco: rho = %v out of (0, 1]", p.Rho)
+		return invalidf("rho = %v out of (0, 1]", p.Rho)
 	}
 	if p.Ants < 0 {
-		return fmt.Errorf("aco: negative ant count %d", p.Ants)
+		return invalidf("negative ant count %d", p.Ants)
 	}
 	if p.NN < 1 {
-		return fmt.Errorf("aco: NN = %d, need >= 1", p.NN)
+		return invalidf("NN = %d, need >= 1", p.NN)
 	}
 	if n < 3 {
-		return fmt.Errorf("aco: instance too small (n = %d)", n)
+		return invalidf("instance too small (n = %d)", n)
 	}
 	return nil
 }

@@ -94,6 +94,13 @@ type EngineOptions struct {
 	// block size (default: one thread per city up to 256, then tiling).
 	// Must be a power of two between 32 and the device's block limit.
 	DataBlockThreads int
+	// Derived, when non-nil, supplies precomputed instance-derived data
+	// (float32 distances, NN lists, greedy NN tour length) instead of
+	// recomputing it per engine — the shared-cache path of batch solving.
+	// It must match the instance and the effective NN width; the engine
+	// copies the slices into its private device buffers, so the shared
+	// value stays read-only.
+	Derived *tsp.Derived
 }
 
 // NewEngine uploads the instance to the device and initialises pheromone to
@@ -131,6 +138,10 @@ func NewEngineWithOptions(dev *cuda.Device, in *tsp.Instance, p aco.Params, opt 
 	}
 	if e.nn > n-1 {
 		e.nn = n - 1
+	}
+	if d := opt.Derived; d != nil && (d.N != n || d.NN != e.nn) {
+		return nil, fmt.Errorf("core: derived data shape (n=%d, nn=%d) does not match engine (n=%d, nn=%d)",
+			d.N, d.NN, n, e.nn)
 	}
 	// Pad the tour rows to a multiple of θ as the paper does, "applying
 	// padding in the ants tour array to avoid warp divergence".
@@ -170,13 +181,20 @@ func NewEngineWithOptions(dev *cuda.Device, in *tsp.Instance, p aco.Params, opt 
 		e.Free()
 		return nil, fmt.Errorf("core: engine allocation: %w", allocErr)
 	}
-	for i, d := range in.Matrix() {
-		e.dist.Data()[i] = float32(d)
+	var cnn int64
+	if d := opt.Derived; d != nil {
+		copy(e.dist.Data(), d.DistF32)
+		copy(e.nnList.Data(), d.List)
+		cnn = d.CNN
+	} else {
+		for i, d := range in.Matrix() {
+			e.dist.Data()[i] = float32(d)
+		}
+		copy(e.nnList.Data(), in.NNList(e.nn))
+		cnn = in.TourLength(in.NearestNeighbourTour(0))
 	}
-	copy(e.nnList.Data(), in.NNList(e.nn))
 	rng.SeedLibStates(e.libRNG, p.Seed^0xC0FFEE, e.m)
 
-	cnn := in.TourLength(in.NearestNeighbourTour(0))
 	e.tau0 = float64(e.m) / float64(cnn)
 	e.pher.Fill(float32(e.tau0))
 	e.bestLen = math.MaxInt64

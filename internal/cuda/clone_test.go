@@ -1,0 +1,78 @@
+package cuda
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Clone must copy every exported parameter field. The reflection sweep
+// keeps the test honest when new model parameters are added to Device: a
+// field Clone forgets shows up here as a zero-valued mismatch.
+func TestCloneCopiesAllExportedFields(t *testing.T) {
+	src := TeslaC1060()
+	src.Faults = &FaultPlan{Seed: 5, LaunchRate: 0.1}
+	src.Observer = launchRecorder{}
+	c := src.Clone()
+
+	sv := reflect.ValueOf(src).Elem()
+	cv := reflect.ValueOf(c).Elem()
+	st := sv.Type()
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if !f.IsExported() {
+			continue // fault/alloc state: intentionally fresh
+		}
+		switch f.Name {
+		case "Observer":
+			if c.Observer != nil {
+				t.Error("Clone copied the Observer; clones must start unobserved")
+			}
+		case "Faults":
+			if c.Faults == src.Faults {
+				t.Error("Clone aliased the fault plan instead of cloning it")
+			}
+			if c.Faults == nil || c.Faults.Seed != 5 || c.Faults.LaunchRate != 0.1 {
+				t.Errorf("Clone lost the fault plan schedule: %+v", c.Faults)
+			}
+		default:
+			if got, want := cv.Field(i), sv.Field(i); !got.Equal(want) {
+				t.Errorf("Clone dropped field %s: got %v, want %v", f.Name, got, want)
+			}
+		}
+	}
+}
+
+// launchRecorder is a throwaway observer for the clone test.
+type launchRecorder struct{}
+
+func (launchRecorder) ObserveLaunch(*LaunchConfig, *LaunchResult) {}
+
+// Clones must not share mutable state: allocations, poisoning and fault
+// counters on the clone leave the source untouched.
+func TestCloneIsolatesMutableState(t *testing.T) {
+	src := TeslaM2050()
+	src.Faults = &FaultPlan{Seed: 9, LaunchRate: 1, MaxFaults: 1, StickyRate: 1}
+	c := src.Clone()
+
+	buf, err := c.MallocF32("scratch", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.AllocatedBytes() != 0 {
+		t.Errorf("clone allocation charged the source device: %d bytes", src.AllocatedBytes())
+	}
+	if c.AllocatedBytes() == 0 {
+		t.Error("clone allocation not charged to the clone")
+	}
+	buf.Free()
+
+	if src.Faults.Launches() != 0 {
+		t.Errorf("source fault plan saw %d launches before any source launch", src.Faults.Launches())
+	}
+
+	// Nil faults stay nil on the clone.
+	src2 := TeslaM2050()
+	if c2 := src2.Clone(); c2.Faults != nil {
+		t.Error("Clone invented a fault plan for a fault-free device")
+	}
+}

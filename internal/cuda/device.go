@@ -171,6 +171,56 @@ func TeslaM2050() *Device {
 	}
 }
 
+// Clone returns a private copy of the device model: the same hardware and
+// timing parameters, fresh fault/allocation/ECC state, its own Clone of the
+// fault plan (counters reset, so the clone replays the plan's schedule from
+// the start) and no observer. Solves that must not mutate a caller-owned
+// device — every antgpu.Solve, and every worker of a concurrent batch —
+// run on a clone, so one *Device value can be shared as a read-only model
+// by any number of concurrent solves.
+func (d *Device) Clone() *Device {
+	c := &Device{
+		Name: d.Name,
+
+		SMs:        d.SMs,
+		CoresPerSM: d.CoresPerSM,
+		ClockHz:    d.ClockHz,
+
+		MaxThreadsPerSM:    d.MaxThreadsPerSM,
+		MaxThreadsPerBlock: d.MaxThreadsPerBlock,
+		MaxBlocksPerSM:     d.MaxBlocksPerSM,
+		WarpSize:           d.WarpSize,
+
+		RegistersPerSM: d.RegistersPerSM,
+		SharedMemPerSM: d.SharedMemPerSM,
+		HasL1:          d.HasL1,
+
+		GlobalMemBytes:    d.GlobalMemBytes,
+		BandwidthBytesPS:  d.BandwidthBytesPS,
+		PerSMBandwidthBPS: d.PerSMBandwidthBPS,
+
+		MemLatencyCycles:     d.MemLatencyCycles,
+		SharedLatencyCycles:  d.SharedLatencyCycles,
+		TextureLatencyCycles: d.TextureLatencyCycles,
+		TxServiceCycles:      d.TxServiceCycles,
+		BarrierCycles:        d.BarrierCycles,
+		DPArithFactor:        d.DPArithFactor,
+		GlobalIssueCycles:    d.GlobalIssueCycles,
+		SegmentBytes:         d.SegmentBytes,
+		TextureLineBytes:     d.TextureLineBytes,
+		TextureCacheBytes:    d.TextureCacheBytes,
+
+		NativeFloatAtomics:   d.NativeFloatAtomics,
+		AtomicLatencyCycles:  d.AtomicLatencyCycles,
+		AtomicSerialCycles:   d.AtomicSerialCycles,
+		FloatAtomicEmulation: d.FloatAtomicEmulation,
+
+		KernelLaunchSeconds: d.KernelLaunchSeconds,
+	}
+	c.Faults = d.Faults.Clone()
+	return c
+}
+
 // TotalCores returns the total scalar core count of the device.
 func (d *Device) TotalCores() int { return d.SMs * d.CoresPerSM }
 

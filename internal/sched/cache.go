@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"antgpu/internal/tsp"
+)
+
+// cacheKey identifies one derived-data value: the instance content hash
+// (tsp.Instance.ContentHash — name and comment excluded, so two loads of
+// the same file share) and the effective NN list width.
+type cacheKey struct {
+	hash uint64
+	nn   int
+}
+
+// cacheEntry computes its Derived exactly once; concurrent requesters for
+// the same key block on the sync.Once and then share the result.
+type cacheEntry struct {
+	once sync.Once
+	d    *tsp.Derived
+}
+
+// Cache memoizes instance-derived read-only data across solves. It is safe
+// for concurrent use: the first request for a (content hash, nn) key
+// computes the data (a miss), every later or concurrent request shares it
+// (a hit). Values are retained for the cache's lifetime — a pool serving a
+// bounded instance set holds one entry per distinct instance/nn pair, Θ(n²)
+// bytes each, the same footprint one solve of that instance needs anyway.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewCache returns an empty derived-data cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Derived returns the shared derived data of the instance at NN width nn,
+// computing it on first use. The result is shared across callers and must
+// be treated as read-only. A nil cache computes fresh data every call
+// (counting nothing), so call sites need no nil checks.
+func (c *Cache) Derived(in *tsp.Instance, nn int) *tsp.Derived {
+	nn = in.EffectiveNN(nn)
+	if c == nil {
+		return in.ComputeDerived(nn)
+	}
+	k := cacheKey{hash: in.ContentHash(), nn: nn}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[k] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.d = in.ComputeDerived(nn) })
+	return e.d
+}
+
+// Stats returns the cumulative hit and miss counts. A hit is any Derived
+// call that found the key already present (including calls that waited on
+// an in-flight computation); a miss is a call that had to compute.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of distinct derived-data entries resident.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,62 @@
+// Package sched is the concurrency substrate of batch solving: a bounded
+// worker pool that runs many independent jobs across goroutines while
+// preserving submission order in the results, and a content-hash-keyed
+// cache that shares instance-derived read-only data (distance matrices,
+// NN lists, greedy-NN tour lengths) across all solves of one instance.
+//
+// The design follows the layering of the GPU ACO literature: the in-colony
+// parallelization strategies of Cecilia et al. live in internal/core, the
+// independent-runs model of Stützle in internal/aco, and this package adds
+// the next layer up — many independent colonies in flight at once, sharing
+// nothing but immutable instance data (Skinderowicz's concurrent-colonies
+// observation). Nothing in here knows about ants or GPUs; it schedules
+// opaque jobs and memoizes opaque derived data.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run executes n independent jobs on at most `workers` goroutines and
+// returns the per-job errors in job order. workers <= 0 selects
+// runtime.GOMAXPROCS(0); the worker count never exceeds n. Jobs are started
+// in index order (completion order is up to the scheduler), each receives
+// the context, and a context cancelled mid-batch fails the not-yet-started
+// jobs with ctx.Err() while already-running jobs finish on their own
+// cancellation checks. Run returns only after every started job finished.
+func Run(ctx context.Context, n, workers int, job func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = job(ctx, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}

@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"antgpu/internal/tsp"
+)
+
+func TestRunAllJobsOnceInOrderSlots(t *testing.T) {
+	const n = 50
+	var ran [n]atomic.Int32
+	errs := Run(context.Background(), n, 4, func(_ context.Context, i int) error {
+		ran[i].Add(1)
+		if i%7 == 3 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if len(errs) != n {
+		t.Fatalf("got %d errors for %d jobs", len(errs), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("job %d ran %d times", i, got)
+		}
+		if (i%7 == 3) != (errs[i] != nil) {
+			t.Errorf("job %d: err = %v", i, errs[i])
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	gate := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		Run(context.Background(), 20, workers, func(_ context.Context, i int) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			<-gate
+			inFlight.Add(-1)
+			return nil
+		})
+	}()
+	for i := 0; i < 20; i++ {
+		gate <- struct{}{}
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeded %d workers", got, workers)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	errs := Run(context.Background(), 0, 4, func(_ context.Context, i int) error {
+		t.Error("job ran for n = 0")
+		return nil
+	})
+	if len(errs) != 0 {
+		t.Errorf("got %d errors for 0 jobs", len(errs))
+	}
+}
+
+func TestRunCancelledContextFailsUnstartedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	errs := Run(ctx, 10, 1, func(ctx context.Context, i int) error {
+		once.Do(func() {
+			close(started)
+			cancel()
+		})
+		return ctx.Err()
+	})
+	<-started
+	canceled := 0
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled < 9 {
+		t.Errorf("only %d/10 jobs observed the cancellation", canceled)
+	}
+}
+
+func loadInstance(t *testing.T, name string) *tsp.Instance {
+	t.Helper()
+	in, err := tsp.LoadBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	c := NewCache()
+	in := loadInstance(t, "att48")
+	d1 := c.Derived(in, 30)
+	if d1 == nil || d1.N != in.N() {
+		t.Fatalf("bad derived data: %+v", d1)
+	}
+	d2 := c.Derived(in, 30)
+	if d1 != d2 {
+		t.Error("second lookup did not share the cached derived data")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1 / 1", hits, misses)
+	}
+
+	// A different NN width is a different key.
+	d3 := c.Derived(in, 10)
+	if d3 == d1 {
+		t.Error("nn = 10 shared the nn = 30 entry")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+
+	// Same content under a different name still hits (content hash ignores
+	// the name).
+	clone, err := tsp.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Derived(clone, 30); got != d1 {
+		t.Error("identical content under a second *Instance missed the cache")
+	}
+}
+
+func TestCacheNilReceiverComputesFresh(t *testing.T) {
+	var c *Cache
+	in := loadInstance(t, "att48")
+	d := c.Derived(in, 30)
+	if d == nil || d.N != in.N() {
+		t.Fatalf("nil cache returned bad derived data: %+v", d)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("nil cache reported traffic: %d / %d", hits, misses)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	in := loadInstance(t, "kroC100")
+	const goroutines = 16
+	results := make([]*tsp.Derived, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = c.Derived(in, 30)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different derived pointer", g)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 {
+		t.Errorf("%d misses for one key, want 1 (singleflight)", misses)
+	}
+	if hits != goroutines-1 {
+		t.Errorf("%d hits, want %d", hits, goroutines-1)
+	}
+}

@@ -136,6 +136,37 @@ func (c *Collector) AmendLastKernel(res *cuda.LaunchResult) {
 	}
 }
 
+// Merge appends other's timeline onto c, starting at c's current simulated
+// clock — the batch scheduler uses it to lay many per-solve traces end to
+// end on one mergeable timeline. Equivalent to MergeAt(other, c.Seconds()).
+func (c *Collector) Merge(other *Collector) {
+	c.MergeAt(other, c.clock)
+}
+
+// MergeAt copies other's events onto c's timeline with their start times
+// shifted by offset (simulated seconds), and extends c's clock to cover the
+// merged interval. Kernel details are copied, so the collectors stay
+// independent afterwards. other must have every phase span closed; other is
+// not modified. Merging inside an open span of c attributes the merged
+// interval to that span, which is how the batch report labels per-request
+// groups.
+func (c *Collector) MergeAt(other *Collector, offset float64) {
+	if other == nil {
+		return
+	}
+	for _, e := range other.events {
+		e.Start += offset
+		if e.Kernel != nil {
+			k := *e.Kernel
+			e.Kernel = &k
+		}
+		c.events = append(c.events, e)
+	}
+	if end := offset + other.clock; end > c.clock {
+		c.clock = end
+	}
+}
+
 // Seconds returns the simulated time elapsed on the collector's timeline.
 func (c *Collector) Seconds() float64 { return c.clock }
 

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+
+	"antgpu/internal/cuda"
+)
+
+func kernelResult(name string, secs float64) (*cuda.LaunchConfig, *cuda.LaunchResult) {
+	cfg := &cuda.LaunchConfig{Grid: cuda.Dim3{X: 4, Y: 1, Z: 1}, Block: cuda.Dim3{X: 128, Y: 1, Z: 1}}
+	return cfg, &cuda.LaunchResult{Name: name, Seconds: secs}
+}
+
+func TestMergeShiftsAndExtends(t *testing.T) {
+	a := NewCollector()
+	a.ObserveLaunch(kernelResult("tour", 2))
+	a.Span("cpu-stage", 1)
+
+	b := NewCollector()
+	b.ObserveLaunch(kernelResult("update", 4))
+
+	a.Merge(b)
+	if got := a.Seconds(); got != 7 {
+		t.Fatalf("merged clock = %v, want 7", got)
+	}
+	ev := a.Events()
+	if len(ev) != 3 {
+		t.Fatalf("merged %d events, want 3", len(ev))
+	}
+	last := ev[2]
+	if last.Name != "update" || last.Start != 3 || last.Dur != 4 {
+		t.Errorf("merged event = %+v, want update at 3 for 4", last)
+	}
+	// Kernel detail is deep-copied: mutating the merged copy leaves the
+	// source collector untouched.
+	last.Kernel.Stride = 99
+	if b.Events()[0].Kernel.Stride == 99 {
+		t.Error("Merge aliased the kernel detail")
+	}
+}
+
+func TestMergeAtOffsetAndClock(t *testing.T) {
+	a := NewCollector()
+	a.Span("head", 10)
+
+	b := NewCollector()
+	b.Span("tail", 2)
+
+	a.MergeAt(b, 3) // lands inside a's existing interval
+	if got := a.Seconds(); got != 10 {
+		t.Errorf("clock shrank or grew to %v, want 10 (merged interval ends at 5)", got)
+	}
+	if ev := a.Events(); ev[1].Start != 3 || ev[1].Dur != 2 {
+		t.Errorf("merged event = %+v, want tail at 3 for 2", ev[1])
+	}
+
+	a.MergeAt(b, 12)
+	if got := a.Seconds(); got != 14 {
+		t.Errorf("clock = %v, want 14 after merging past the end", got)
+	}
+}
+
+func TestMergeNilAndInsideSpan(t *testing.T) {
+	a := NewCollector()
+	a.Merge(nil)
+	if a.Seconds() != 0 || len(a.Events()) != 0 {
+		t.Error("merging nil changed the collector")
+	}
+
+	b := NewCollector()
+	b.ObserveLaunch(kernelResult("k", 5))
+
+	a.Begin("req[0]")
+	a.Merge(b)
+	a.End()
+	ev := a.Events()
+	if ev[0].Name != "req[0]" || ev[0].Dur != 5 {
+		t.Errorf("wrapping span = %+v, want req[0] with dur 5", ev[0])
+	}
+}

@@ -1,0 +1,72 @@
+package tsp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestComputeDerivedMatchesDirectComputation(t *testing.T) {
+	in := MustLoadBenchmark("att48")
+	d := in.ComputeDerived(30)
+	if d.N != in.N() || d.NN != 30 {
+		t.Fatalf("shape = %d x %d, want %d x 30", d.N, d.NN, in.N())
+	}
+	if !reflect.DeepEqual(d.List, in.NNList(30)) {
+		t.Error("derived NN list differs from Instance.NNList")
+	}
+	if want := in.TourLength(in.NearestNeighbourTour(0)); d.CNN != want {
+		t.Errorf("CNN = %d, want %d", d.CNN, want)
+	}
+	n := in.N()
+	if len(d.DistF32) != n*n {
+		t.Fatalf("DistF32 has %d entries, want %d", len(d.DistF32), n*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got, want := d.DistF32[i*n+j], float32(in.Dist(i, j)); got != want {
+				t.Fatalf("DistF32[%d,%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestEffectiveNNClamps(t *testing.T) {
+	in := MustLoadBenchmark("att48")
+	n := in.N()
+	if got := in.EffectiveNN(n + 10); got != n-1 {
+		t.Errorf("EffectiveNN(%d) = %d, want %d", n+10, got, n-1)
+	}
+	if got := in.EffectiveNN(5); got != 5 {
+		t.Errorf("EffectiveNN(5) = %d", got)
+	}
+	d := in.ComputeDerived(n * 2)
+	if d.NN != n-1 {
+		t.Errorf("ComputeDerived clamped to %d, want %d", d.NN, n-1)
+	}
+}
+
+func TestContentHashIdentifiesContent(t *testing.T) {
+	a := MustLoadBenchmark("att48")
+	b := MustLoadBenchmark("att48")
+	if a.ContentHash() != b.ContentHash() {
+		t.Error("two loads of one benchmark hash differently")
+	}
+	c := MustLoadBenchmark("kroC100")
+	if a.ContentHash() == c.ContentHash() {
+		t.Error("att48 and kroC100 share a content hash")
+	}
+	// Determinism across calls.
+	if a.ContentHash() != a.ContentHash() {
+		t.Error("ContentHash is not deterministic")
+	}
+}
+
+func TestContentHashIgnoresName(t *testing.T) {
+	a := MustLoadBenchmark("att48")
+	b := MustLoadBenchmark("att48")
+	b.Name = "renamed"
+	b.Comment = "different comment"
+	if a.ContentHash() != b.ContentHash() {
+		t.Error("renaming an instance changed its content hash")
+	}
+}
