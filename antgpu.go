@@ -38,6 +38,7 @@ import (
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
+	"antgpu/internal/metrics"
 	"antgpu/internal/sched"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
@@ -157,6 +158,18 @@ const (
 	BackendGPU
 )
 
+// String returns the backend's short name, used as a metric label value.
+func (b Backend) String() string {
+	switch b {
+	case BackendCPU:
+		return "cpu"
+	case BackendGPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
 // Algorithm selects the ACO variant.
 type Algorithm int
 
@@ -179,6 +192,24 @@ const (
 	// GPU.
 	AlgorithmRank
 )
+
+// String returns the algorithm's short name, used as a metric label value.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmAS:
+		return "as"
+	case AlgorithmACS:
+		return "acs"
+	case AlgorithmMMAS:
+		return "mmas"
+	case AlgorithmEAS:
+		return "eas"
+	case AlgorithmRank:
+		return "rank"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
 
 // ACSParams are the Ant Colony System parameters.
 type ACSParams = aco.ACSParams
@@ -246,6 +277,18 @@ type SolveOptions struct {
 	// through that runtime; it is supported for AlgorithmAS on the GPU
 	// backend without LocalSearch.
 	Recovery *RecoveryOptions
+	// Metrics, when non-nil, collects telemetry from the solve into the
+	// registry: solve outcome counters on every path, per-kernel hardware
+	// counters from the simulated device (GPU backend), and — for
+	// AlgorithmAS — per-iteration convergence gauges (best/mean tour
+	// length, pheromone entropy, λ-branching). Nil (the default) disables
+	// collection at zero cost. The registry only observes; solves stay
+	// deterministic and byte-identical with metrics on or off.
+	Metrics *Metrics
+	// Optimum is the known optimal tour length of the instance, when the
+	// caller has one. It only feeds the antgpu_optimum_gap_ratio gauge;
+	// zero (unknown) disables that series.
+	Optimum int64
 
 	// cache, when non-nil, is the batch pool's shared derived-data cache
 	// (set by Pool/SolveBatch before dispatching each request). Cached data
@@ -294,6 +337,11 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 // requested), allocation accounting and observer hook. The caller's
 // *Device is never written, so one device value can back any number of
 // concurrent solves.
+//
+// When a metrics registry is attached, the private clone also carries the
+// hardware-counter observer. The assignment is guarded so a disabled
+// registry leaves the Metrics field a true nil interface — the launch
+// path's nil check then skips the hook entirely.
 func gpuDevice(opts SolveOptions) *Device {
 	dev := opts.Device
 	if dev == nil {
@@ -302,6 +350,9 @@ func gpuDevice(opts SolveOptions) *Device {
 		dev = dev.Clone()
 	}
 	dev.Faults = opts.Faults.Clone()
+	if opts.Metrics != nil {
+		dev.Metrics = metrics.NewHW(opts.Metrics, dev)
+	}
 	return dev
 }
 
@@ -318,6 +369,11 @@ func derivedData(opts SolveOptions, in *Instance, nn int) *tsp.Derived {
 // iterations and its error returned promptly. No panic escapes — internal
 // failures come back as errors.
 func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Result, err error) {
+	// Registered before the recover handler so it runs after it (defers are
+	// LIFO) and sees the final res/err even on a recovered panic.
+	if opts.Metrics != nil {
+		defer func() { recordSolve(opts.Metrics, opts, res, err) }()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("antgpu: internal error: %v", r)
@@ -357,6 +413,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 		}
 		tr := newTracer(opts)
 		c.Tracer = tr
+		c.Conv = solveConv(opts, in)
 		c.ResetMeters()
 		var tour []int32
 		var l int64
@@ -401,7 +458,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			}
 			tr := newTracer(opts)
 			tour, l, secs, rep, err := core.RunRecovered(ctx, dev, in, opts.Params,
-				tv, pv, opts.Iterations, ro, tr)
+				tv, pv, opts.Iterations, ro, tr, solveConv(opts, in))
 			if err != nil {
 				return nil, err
 			}
@@ -417,6 +474,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 		if tr != nil {
 			e.SetTracer(tr)
 		}
+		e.SetMetrics(solveConv(opts, in))
 		var tour []int32
 		var l int64
 		var secs float64

@@ -29,6 +29,12 @@ type PoolOptions struct {
 	// greedy-NN tour length. Results are identical either way; disable it
 	// only to bound memory when a pool sees an unbounded instance stream.
 	DisableCache bool
+	// Metrics, when non-nil, collects the pool's runtime telemetry (queue
+	// depth, busy workers, request and cache counters) and is inherited by
+	// every request whose own SolveOptions.Metrics is nil, so one registry
+	// observes the scheduler and all the solves it dispatches. Nil (the
+	// default) disables collection at zero cost.
+	Metrics *Metrics
 }
 
 // BatchItem pairs one request's result with its error. Exactly one of the
@@ -36,6 +42,11 @@ type PoolOptions struct {
 type BatchItem struct {
 	Result *Result
 	Err    error
+	// Recovery surfaces the request's fault-tolerant runtime report
+	// (Result.Recovery) at the batch level, so a batch over faulty devices
+	// can be triaged without digging into each result. Nil when the request
+	// failed or did not run through the recovery runtime.
+	Recovery *RecoveryReport
 }
 
 // BatchReport aggregates one SolveBatch run.
@@ -52,6 +63,10 @@ type BatchReport struct {
 	SimulatedSeconds float64
 	// WallSeconds is the host wall-clock time of the whole batch.
 	WallSeconds float64
+	// Faults, Retries, Resets and Failovers aggregate the recovery activity
+	// of every request that ran through the fault-tolerant runtime (the sum
+	// over the per-item Recovery reports).
+	Faults, Retries, Resets, Failovers int
 	// Trace lays the profiled requests' timelines (those with
 	// Options.Profile set) end to end on one merged collector, each wrapped
 	// in a span named after its request index and instance. Nil when no
@@ -83,16 +98,22 @@ func (r *BatchReport) Errs() int {
 type Pool struct {
 	workers int
 	cache   *sched.Cache
+	metrics *Metrics
 }
 
 // NewPool returns a Pool with the given options.
 func NewPool(opts PoolOptions) *Pool {
-	p := &Pool{workers: opts.Workers}
+	p := &Pool{workers: opts.Workers, metrics: opts.Metrics}
 	if !opts.DisableCache {
 		p.cache = sched.NewCache()
 	}
 	return p
 }
+
+// Metrics returns the pool's registry (PoolOptions.Metrics), or nil when
+// the pool runs unobserved. Serve it live with ServeMetrics, or snapshot it
+// between batches for programmatic introspection.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
 
 // CacheStats returns the pool's cumulative derived-data cache hit and miss
 // counts across all batches served.
@@ -118,13 +139,20 @@ func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchRepor
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	errs := sched.Run(ctx, len(reqs), workers, func(ctx context.Context, i int) error {
+	errs := sched.RunHooked(ctx, len(reqs), workers, func(ctx context.Context, i int) error {
 		opts := reqs[i].Options
 		opts.cache = p.cache
+		if opts.Metrics == nil {
+			opts.Metrics = p.metrics
+		}
 		res, err := SolveContext(ctx, reqs[i].Instance, opts)
-		rep.Results[i] = BatchItem{Result: res, Err: err}
+		it := BatchItem{Result: res, Err: err}
+		if res != nil {
+			it.Recovery = res.Recovery
+		}
+		rep.Results[i] = it
 		return err
-	})
+	}, p.schedHooks())
 	// Requests the scheduler never started (context cancelled before their
 	// turn) have no BatchItem yet — their error only exists in the
 	// scheduler's slice.
@@ -137,9 +165,23 @@ func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchRepor
 	rep.WallSeconds = time.Since(start).Seconds()
 	hits1, misses1 := p.cache.Stats()
 	rep.CacheHits, rep.CacheMisses = hits1-hits0, misses1-misses0
+	if p.metrics != nil {
+		p.metrics.Counter("antgpu_pool_cache_hits_total",
+			"Derived-data cache hits across all batches.").Add(float64(rep.CacheHits))
+		p.metrics.Counter("antgpu_pool_cache_misses_total",
+			"Derived-data cache misses across all batches.").Add(float64(rep.CacheMisses))
+	}
 
 	var merged *trace.Collector
 	for i, it := range rep.Results {
+		if r := it.Recovery; r != nil {
+			rep.Faults += r.Faults
+			rep.Retries += r.Retries
+			rep.Resets += r.Resets
+			if r.Degraded {
+				rep.Failovers++
+			}
+		}
 		if it.Result == nil {
 			continue
 		}
@@ -159,6 +201,37 @@ func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchRepor
 	}
 	rep.Trace = merged
 	return rep, nil
+}
+
+// schedHooks translates the scheduler's introspection points into the
+// pool's live gauges and request counters. No registry → zero-valued Hooks,
+// which the scheduler skips entirely.
+func (p *Pool) schedHooks() sched.Hooks {
+	if p.metrics == nil {
+		return sched.Hooks{}
+	}
+	queue := p.metrics.Gauge("antgpu_pool_queue_depth",
+		"Submitted batch requests not yet picked up by a worker.")
+	busy := p.metrics.Gauge("antgpu_pool_workers_busy",
+		"Pool workers currently running a solve.")
+	okc := p.metrics.Counter("antgpu_pool_requests_total",
+		"Batch requests completed.", "status", "ok")
+	errc := p.metrics.Counter("antgpu_pool_requests_total",
+		"Batch requests completed.", "status", "error")
+	return sched.Hooks{
+		Start: func(_, queued, busyNow int) {
+			queue.Set(float64(queued))
+			busy.Set(float64(busyNow))
+		},
+		Done: func(_ int, err error, busyNow int) {
+			busy.Set(float64(busyNow))
+			if err != nil {
+				errc.Inc()
+			} else {
+				okc.Inc()
+			}
+		},
+	}
 }
 
 // SolveBatch runs many independent solves — any mix of backends,

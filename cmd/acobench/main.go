@@ -14,6 +14,7 @@
 //	acobench -paper               # print the paper's published values too
 //	acobench -profile             # per-kernel profile of one AS iteration
 //	acobench -inject rate=0.02    # fault-injection demo vs the fault-free run
+//	acobench -metrics             # instrumented batch; lint + print the Prometheus exposition
 //	acobench -batch -batchjson BENCH_batch.json   # batch-scheduler throughput
 package main
 
@@ -56,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 		traceOut = fs.String("traceout", "", "with -profile, write the M2050 timeline as Chrome trace JSON")
 		inject   = fs.String("inject", "", "fault-injection demo: run the GPU Ant System under this fault spec "+
 			"(e.g. rate=0.02,seed=7) and compare against the fault-free run")
+		metricsMode = fs.Bool("metrics", false, "run an instrumented batch, lint the Prometheus exposition, and print it "+
+			"(non-zero exit on lint violations — the CI telemetry gate)")
 		batch     = fs.Bool("batch", false, "batch-scheduler throughput benchmark: concurrent SolveBatch vs sequential solves")
 		batchJSON = fs.String("batchjson", "", "with -batch, also write the result as JSON (the BENCH_batch.json trajectory)")
 		workers   = fs.Int("workers", 0, "with -batch, worker goroutines (0 = GOMAXPROCS)")
@@ -71,6 +74,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *inject != "" {
 		return runInject(stdout, *inject)
+	}
+	if *metricsMode {
+		return runMetrics(stdout)
 	}
 	if *batch {
 		return runBatch(stdout, *batchJSON, *workers, *seeds, *iters)
@@ -295,14 +301,14 @@ func runInject(stdout io.Writer, spec string) error {
 		}
 		clean := cuda.TeslaM2050()
 		_, wantLen, _, _, err := core.RunRecovered(context.Background(), clean, in, p,
-			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil)
+			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil)
 		if err != nil {
 			return fmt.Errorf("fault-free run on %s: %w", name, err)
 		}
 		dev := cuda.TeslaM2050()
 		dev.Faults = plan.Clone()
 		_, gotLen, secs, rep, err := core.RunRecovered(context.Background(), dev, in, p,
-			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil)
+			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil)
 		if err != nil {
 			return fmt.Errorf("injected run on %s: %w", name, err)
 		}

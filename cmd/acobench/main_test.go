@@ -112,3 +112,22 @@ func TestSmokeBatchMode(t *testing.T) {
 		t.Fatalf("no cache hits recorded: %s", raw)
 	}
 }
+
+func TestSmokeMetricsMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// One series from each producer layer, plus the recovery counters the
+	// fault-injected request exercises.
+	for _, want := range []string{
+		`antgpu_kernel_launches_total{kernel="`,
+		`antgpu_pheromone_entropy{`,
+		"antgpu_pool_requests_total",
+		"antgpu_recovery_faults_total",
+	} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"antgpu"
+)
+
+// runMetrics is the telemetry self-check mode (-metrics): it runs a small
+// instrumented batch exercising all three producer layers — GPU hardware
+// counters, convergence statistics and the pool scheduler, plus the
+// fault-recovery runtime — lints the resulting Prometheus exposition with
+// the vendored promtool-style validator, and prints it. Lint violations
+// fail the command, so CI gates on the exposition staying valid.
+func runMetrics(stdout io.Writer) error {
+	att48, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		return err
+	}
+	kroC100, err := antgpu.LoadBenchmark("kroC100")
+	if err != nil {
+		return err
+	}
+
+	reg := antgpu.NewMetrics()
+	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: 2, Metrics: reg})
+	reqs := []antgpu.SolveRequest{
+		// GPU solve: kernel hardware counters + convergence gauges.
+		{Instance: att48, Options: antgpu.SolveOptions{
+			Iterations: 5, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 1},
+		}},
+		// Faulty GPU solve: recovery counters.
+		{Instance: att48, Options: antgpu.SolveOptions{
+			Iterations: 5, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 1},
+			Faults: &antgpu.FaultPlan{Seed: 19, LaunchRate: 0.05},
+		}},
+		// CPU solve: convergence gauges from the baseline colony.
+		{Instance: kroC100, Options: antgpu.SolveOptions{
+			Iterations: 3, Params: antgpu.Params{Seed: 1},
+		}},
+	}
+	rep, err := pool.SolveBatch(context.Background(), reqs)
+	if err != nil {
+		return err
+	}
+	for i, it := range rep.Results {
+		if it.Err != nil {
+			return fmt.Errorf("metrics batch request %d: %w", i, it.Err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	if errs := antgpu.LintMetrics(bytes.NewReader(buf.Bytes())); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(stdout, "lint:", e)
+		}
+		return fmt.Errorf("metrics exposition failed lint with %d violations", len(errs))
+	}
+	_, err = stdout.Write(buf.Bytes())
+	return err
+}

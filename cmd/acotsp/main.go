@@ -59,12 +59,27 @@ func run(args []string, stdout io.Writer) error {
 		traceOut  = fs.String("traceout", "", "write the profile as Chrome trace-event JSON (implies -profile)")
 		inject    = fs.String("inject", "", "inject deterministic device faults, e.g. rate=0.02,sticky=0.1,seed=7 "+
 			"(gpu backend; AS recovers via checkpoint/retry/CPU-failover, other algorithms fail fast)")
+		metricsOut = fs.String("metricsout", "", "write the solve's Prometheus metrics exposition to this file "+
+			"(\"-\" for stdout): kernel hardware counters, convergence gauges, solve outcomes")
+		optimum = fs.Int64("optimum", 0, "known optimal tour length, enables the gap-to-optimum metric (with -metricsout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceOut != "" {
 		*profile = true
+	}
+	var reg *antgpu.Metrics
+	if *metricsOut != "" {
+		if *iterLog {
+			return fmt.Errorf("-metricsout is not supported with -trace (the traced run drives the engine directly)")
+		}
+		reg = antgpu.NewMetrics()
+		defer func() {
+			if err := writeMetrics(stdout, *metricsOut, reg); err != nil {
+				fmt.Fprintln(stdout, "metrics:", err)
+			}
+		}()
 	}
 	var faults *antgpu.FaultPlan
 	if *inject != "" {
@@ -103,7 +118,7 @@ func run(args []string, stdout io.Writer) error {
 		in.Name, in.N(), in.Type, p.AntCount(in.N()), *iters)
 
 	if v := strings.ToLower(*alg); v == "acs" || v == "mmas" || v == "eas" || v == "rank" {
-		opts := antgpu.SolveOptions{Iterations: *iters, Profile: *profile}
+		opts := antgpu.SolveOptions{Iterations: *iters, Profile: *profile, Metrics: reg, Optimum: *optimum}
 		switch v {
 		case "eas":
 			opts.Algorithm = antgpu.AlgorithmEAS
@@ -169,6 +184,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		res, err := antgpu.Solve(in, antgpu.SolveOptions{
 			Params: p, Iterations: *iters, Variant: v, LocalSearch: *ls, Profile: *profile,
+			Metrics: reg, Optimum: *optimum,
 		})
 		if err != nil {
 			return err
@@ -204,10 +220,11 @@ func run(args []string, stdout io.Writer) error {
 			reqs[i] = antgpu.SolveRequest{Instance: in, Options: antgpu.SolveOptions{
 				Params: pi, Iterations: *iters, Backend: antgpu.BackendGPU,
 				Device: dev, Tour: antgpu.TourVersion(*tourV), Pher: antgpu.PherVersion(*pherV),
-				LocalSearch: *ls, Faults: faults,
+				LocalSearch: *ls, Faults: faults, Optimum: *optimum,
 			}}
 		}
-		rep, err := antgpu.SolveBatch(context.Background(), reqs, antgpu.PoolOptions{Workers: *workers})
+		rep, err := antgpu.SolveBatch(context.Background(), reqs,
+			antgpu.PoolOptions{Workers: *workers, Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -237,6 +254,7 @@ func run(args []string, stdout io.Writer) error {
 			Params: p, Iterations: *iters, Backend: antgpu.BackendGPU,
 			Device: dev, Tour: antgpu.TourVersion(*tourV), Pher: antgpu.PherVersion(*pherV),
 			LocalSearch: *ls, Profile: *profile, Faults: faults,
+			Metrics: reg, Optimum: *optimum,
 		})
 		if err != nil {
 			return err
@@ -290,6 +308,31 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return emitProfile(stdout, tr, *traceOut)
+}
+
+// writeMetrics writes the registry's Prometheus exposition to path ("-"
+// selects stdout). A nil registry writes nothing.
+func writeMetrics(stdout io.Writer, path string, reg *antgpu.Metrics) error {
+	if reg == nil {
+		return nil
+	}
+	if path == "-" {
+		fmt.Fprintln(stdout)
+		return reg.WritePrometheus(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote metrics exposition to %s\n", path)
+	return nil
 }
 
 // reportRecovery prints the fault-tolerant runtime's activity, if any.

@@ -194,3 +194,39 @@ func TestSmokeGPURuns(t *testing.T) {
 		t.Fatalf("best-of-4 reported %d, sequential best is %d", multi, bestSolo)
 	}
 }
+
+func TestSmokeMetricsOut(t *testing.T) {
+	promFile := filepath.Join(t.TempDir(), "solve.prom")
+	var out bytes.Buffer
+	err := run([]string{"-bench", "att48", "-backend", "gpu", "-seed", "7", "-iters", "3",
+		"-metricsout", promFile, "-optimum", "10628"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("wrote metrics exposition to")) {
+		t.Fatalf("missing metrics write confirmation:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(promFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`antgpu_kernel_launches_total{kernel="`,
+		`antgpu_optimum_gap_ratio{instance="att48"`,
+		`antgpu_solves_total{backend="gpu"`,
+	} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Fatalf("exposition file missing %q:\n%s", want, raw)
+		}
+	}
+
+	// "-" streams the exposition to stdout instead.
+	out.Reset()
+	err = run([]string{"-bench", "att48", "-seed", "7", "-iters", "2", "-metricsout", "-"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("# TYPE antgpu_iterations_total counter")) {
+		t.Fatalf("stdout exposition missing convergence counter:\n%s", out.String())
+	}
+}

@@ -1,0 +1,140 @@
+// metricsdash runs an instrumented batch and renders the registry's
+// snapshot as a terminal dashboard: per-instance convergence state, the
+// top kernels by simulated time with their contention counters, and the
+// pool/recovery activity — the same numbers a Prometheus scrape of
+// /metrics would see, read through the structured Snapshot API instead.
+//
+//	go run ./examples/metricsdash [instance ...]
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"antgpu"
+)
+
+func main() {
+	names := []string{"att48", "kroC100"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+
+	reg := antgpu.NewMetrics()
+	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: 2, Metrics: reg})
+	var reqs []antgpu.SolveRequest
+	for i, name := range names {
+		in, err := antgpu.LoadBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := antgpu.SolveOptions{
+			Iterations: 10, Backend: antgpu.BackendGPU,
+			Params: antgpu.Params{Seed: uint64(i + 1)},
+		}
+		if i == len(names)-1 {
+			// Shake the last request with injected faults so the
+			// recovery panel has something to show.
+			opts.Faults = &antgpu.FaultPlan{Seed: 7, LaunchRate: 0.05}
+		}
+		reqs = append(reqs, antgpu.SolveRequest{Instance: in, Options: opts})
+	}
+	rep, err := pool.SolveBatch(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, it := range rep.Results {
+		if it.Err != nil {
+			log.Fatalf("request %d (%s): %v", i, names[i], it.Err)
+		}
+	}
+
+	snap := pool.Metrics().Snapshot()
+	dashboard(snap)
+}
+
+// dashboard renders the three producer layers from one snapshot.
+func dashboard(snap *antgpu.MetricsSnapshot) {
+	fmt.Println("== convergence ==")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "instance\titers\tbest\titer best\titer mean\tentropy\tλ\t")
+	for _, s := range series(snap, "antgpu_iterations_total") {
+		key := s.Labels["instance"]
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.1f\t%.3f\t%.2f\t\n",
+			key, s.Value,
+			gauge(snap, "antgpu_best_length", "instance", key),
+			gauge(snap, "antgpu_iteration_best_length", "instance", key),
+			gauge(snap, "antgpu_iteration_mean_length", "instance", key),
+			gauge(snap, "antgpu_pheromone_entropy", "instance", key),
+			gauge(snap, "antgpu_lambda_branching", "instance", key))
+	}
+	tw.Flush()
+
+	fmt.Println("\n== kernels (by simulated time) ==")
+	type row struct {
+		kernel  string
+		seconds float64
+	}
+	var rows []row
+	for _, s := range series(snap, "antgpu_kernel_sim_seconds_total") {
+		rows = append(rows, row{s.Labels["kernel"], s.Value})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].seconds != rows[j].seconds {
+			return rows[i].seconds > rows[j].seconds
+		}
+		return rows[i].kernel < rows[j].kernel
+	})
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "kernel\tlaunches\tms\tglobal tx\tatomic ops\tdiverge extra\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.4f\t%.0f\t%.0f\t%.0f\t\n",
+			r.kernel, gauge(snap, "antgpu_kernel_launches_total", "kernel", r.kernel),
+			r.seconds*1e3,
+			gauge(snap, "antgpu_kernel_global_transactions_total", "kernel", r.kernel),
+			gauge(snap, "antgpu_kernel_atomic_ops_total", "kernel", r.kernel),
+			gauge(snap, "antgpu_kernel_divergent_replays_total", "kernel", r.kernel))
+	}
+	tw.Flush()
+
+	fmt.Println("\n== pool & recovery ==")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	for _, name := range []string{
+		"antgpu_pool_requests_total", "antgpu_pool_cache_hits_total",
+		"antgpu_pool_cache_misses_total", "antgpu_recovery_faults_total",
+		"antgpu_recovery_retries_total", "antgpu_recovery_resets_total",
+		"antgpu_recovery_failovers_total",
+	} {
+		for _, s := range series(snap, name) {
+			label := name
+			for _, v := range s.Labels {
+				label += " " + v
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t\n", label, s.Value)
+		}
+	}
+	tw.Flush()
+}
+
+// series returns the named family's series, or nil when absent.
+func series(snap *antgpu.MetricsSnapshot, name string) []antgpu.MetricsSeries {
+	if f := snap.Family(name); f != nil {
+		return f.Series
+	}
+	return nil
+}
+
+// gauge returns the value of the series in family name whose label key has
+// value val, or 0 when no such series exists.
+func gauge(snap *antgpu.MetricsSnapshot, name, key, val string) float64 {
+	for _, s := range series(snap, name) {
+		if s.Labels[key] == val {
+			return s.Value
+		}
+	}
+	return 0
+}

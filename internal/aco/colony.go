@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"antgpu/internal/metrics"
 	"antgpu/internal/rng"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
@@ -65,6 +66,11 @@ type Colony struct {
 	// timeline; phase durations come from the stage meters through the
 	// reference CPU model (DefaultCPU).
 	Tracer *trace.Collector
+
+	// Conv, when non-nil, receives per-iteration convergence metrics
+	// (best/mean tour length, pheromone entropy, λ-branching). The O(n²)
+	// matrix statistics are computed only while a recorder is attached.
+	Conv *metrics.Convergence
 
 	// scratch
 	visited []bool
@@ -424,6 +430,18 @@ func (c *Colony) Iterate(v Variant) {
 	defer c.phase("iteration")()
 	c.ConstructTours(v)
 	c.UpdatePheromone()
+	if c.Conv != nil {
+		best := int64(math.MaxInt64)
+		sum := int64(0)
+		for _, l := range c.Lengths {
+			sum += l
+			if l < best {
+				best = l
+			}
+		}
+		c.Conv.RecordIteration(float64(best), float64(sum)/float64(c.m), c.BestLen)
+		c.Conv.RecordPheromone64(c.Pher, c.n)
+	}
 }
 
 // Run executes `iters` iterations and returns the best tour found and its

@@ -6,6 +6,7 @@ import (
 
 	"antgpu/internal/aco"
 	"antgpu/internal/cuda"
+	"antgpu/internal/metrics"
 	"antgpu/internal/rng"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
@@ -71,6 +72,13 @@ type Engine struct {
 	// phase on a simulated timeline (set it with SetTracer so the device
 	// observer hook is installed too).
 	Tracer *trace.Collector
+
+	// conv, when non-nil, receives per-iteration convergence metrics
+	// (best/mean tour length, pheromone entropy, λ-branching). Set it
+	// with SetMetrics; nil costs nothing on the iteration path.
+	conv *metrics.Convergence
+	// lastMean is the mean exact tour length of the latest ReadBest scan.
+	lastMean float64
 
 	theta       int // pheromone tour-tile length θ (and deposit block size)
 	dataThreads int // data-parallel block size override (0 = auto)
@@ -309,6 +317,12 @@ func (e *Engine) SetTracer(tr *trace.Collector) {
 	}
 	e.Dev.Observer = tr
 }
+
+// SetMetrics attaches (or, with nil, detaches) a convergence recorder:
+// every Iterate then publishes the iteration's best and mean tour length
+// plus the pheromone matrix's entropy and λ-branching factor. The O(n²)
+// matrix statistics are computed only while a recorder is attached.
+func (e *Engine) SetMetrics(c *metrics.Convergence) { e.conv = c }
 
 // span opens a phase span on the tracer and returns its closer; both are
 // no-ops without a tracer, so call sites read `defer e.span("name")()`.

@@ -8,6 +8,7 @@ import (
 
 	"antgpu/internal/aco"
 	"antgpu/internal/cuda"
+	"antgpu/internal/metrics"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
@@ -158,10 +159,12 @@ func faultName(err error) string {
 // checkpoint/retry/failover fault tolerance and returns the best tour, its
 // length, the simulated seconds (kernel time plus backoff), and a report of
 // the recovery activity. With no faults injected it is exactly Engine.Run
-// plus a per-iteration checkpoint copy.
+// plus a per-iteration checkpoint copy. conv, when non-nil, receives the
+// per-iteration convergence metrics; it is re-attached to every rebuilt
+// engine so recording survives device resets and the CPU failover.
 func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco.Params,
 	tv TourVersion, pv PherVersion, iters int, opts RecoveryOptions,
-	tr *trace.Collector) ([]int32, int64, float64, *RecoveryReport, error) {
+	tr *trace.Collector, conv *metrics.Convergence) ([]int32, int64, float64, *RecoveryReport, error) {
 
 	opts = opts.withDefaults()
 	rep := &RecoveryReport{}
@@ -214,6 +217,7 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 		if tr != nil {
 			e.SetTracer(tr)
 		}
+		e.SetMetrics(conv)
 		return e, nil
 	}
 
@@ -235,7 +239,7 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 					if opts.DisableFailover || !isFault(err) {
 						return nil, 0, 0, rep, fatal
 					}
-					return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr)
+					return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr, conv)
 				}
 				_ = rebuild // already have no engine
 				continue
@@ -263,7 +267,7 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 				return nil, 0, 0, rep, fatal
 			}
 			e.Free()
-			return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr)
+			return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr, conv)
 		}
 		if rebuild {
 			// The reset cleared the device's allocation accounting; the old
@@ -303,7 +307,7 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 // determinism guarantee for completing the solve at all.
 func failoverCPU(ctx context.Context, in *tsp.Instance, p aco.Params, cp *Checkpoint,
 	iters, done int, secs float64, rep *RecoveryReport,
-	tr *trace.Collector) ([]int32, int64, float64, *RecoveryReport, error) {
+	tr *trace.Collector, conv *metrics.Convergence) ([]int32, int64, float64, *RecoveryReport, error) {
 
 	rep.Degraded = true
 	rep.FailoverIteration = done
@@ -315,6 +319,7 @@ func failoverCPU(ctx context.Context, in *tsp.Instance, p aco.Params, cp *Checkp
 		return nil, 0, 0, rep, err
 	}
 	c.Tracer = tr
+	c.Conv = conv
 	if cp != nil {
 		for i, v := range cp.Pher {
 			c.Pher[i] = float64(v)

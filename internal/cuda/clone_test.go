@@ -12,6 +12,7 @@ func TestCloneCopiesAllExportedFields(t *testing.T) {
 	src := TeslaC1060()
 	src.Faults = &FaultPlan{Seed: 5, LaunchRate: 0.1}
 	src.Observer = launchRecorder{}
+	src.Metrics = launchRecorder{}
 	c := src.Clone()
 
 	sv := reflect.ValueOf(src).Elem()
@@ -26,6 +27,10 @@ func TestCloneCopiesAllExportedFields(t *testing.T) {
 		case "Observer":
 			if c.Observer != nil {
 				t.Error("Clone copied the Observer; clones must start unobserved")
+			}
+		case "Metrics":
+			if c.Metrics != nil {
+				t.Error("Clone copied the Metrics hook; clones must start uninstrumented")
 			}
 		case "Faults":
 			if c.Faults == src.Faults {

@@ -76,6 +76,13 @@ type Device struct {
 	// device in issue order (the profiler hook; see internal/trace).
 	Observer LaunchObserver
 
+	// Metrics, when non-nil, also receives every completed launch — the
+	// metrics layer's hardware-counter hook (see internal/metrics.HW). It
+	// is independent of Observer so profiling and metrics collection can
+	// run together, and it survives engine rebuilds and Device.Reset: the
+	// engines manage Observer, the solve facade manages Metrics.
+	Metrics LaunchObserver
+
 	// Faults, when non-nil, injects deterministic faults into launches and
 	// allocations on this device (see fault.go).
 	Faults *FaultPlan

@@ -194,6 +194,9 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 	if dev.Observer != nil {
 		dev.Observer.ObserveLaunch(&cfg, res)
 	}
+	if dev.Metrics != nil {
+		dev.Metrics.ObserveLaunch(&cfg, res)
+	}
 	return res, nil
 }
 

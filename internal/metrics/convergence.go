@@ -1,0 +1,192 @@
+package metrics
+
+import "math"
+
+// Convergence statistics of an ACO run. The GPU literature following the
+// paper (Skinderowicz 2016 among others) evaluates solution quality by
+// per-iteration convergence curves, and diagnoses stagnation — the whole
+// colony retracing one tour — with two pheromone-matrix statistics:
+//
+//   - entropy: the Shannon entropy of each city's outgoing pheromone row,
+//     normalised to [0, 1] and averaged over cities. A uniform matrix (the
+//     τ0 start) scores 1; a matrix concentrated on one tour approaches 0.
+//   - λ-branching factor: the average number of edges per city whose trail
+//     exceeds τmin_i + λ·(τmax_i − τmin_i) (Gambardella & Dorigo's
+//     stagnation measure, λ = 0.05). It starts near the city count and
+//     collapses towards 2 (one tour edge in, one out) as the colony
+//     converges.
+//
+// A Convergence recorder owns the gauge series of one solve (labeled by
+// instance, algorithm and backend) and computes both statistics from the
+// pheromone matrix only when recording is enabled: a nil *Convergence is a
+// valid disabled recorder whose methods are no-ops, so the engines guard a
+// single pointer on the iteration path.
+
+// LambdaBranchingFactor is the λ of the λ-branching statistic.
+const LambdaBranchingFactor = 0.05
+
+// Convergence records per-iteration solution-quality and stagnation
+// metrics for one solve. Create it with NewConvergence; nil is a no-op.
+type Convergence struct {
+	iters    Counter
+	iterBest Gauge
+	iterMean Gauge
+	best     Gauge
+	gap      Gauge
+	entropy  Gauge
+	lambda   Gauge
+	optimum  float64
+}
+
+// NewConvergence returns a recorder writing to reg with the given series
+// labels. optimum, when positive, is the known optimal tour length of the
+// instance and enables the gap-to-optimum gauge. A nil registry returns a
+// nil (disabled) recorder.
+func NewConvergence(reg *Registry, instance, algorithm, backend string, optimum int64) *Convergence {
+	if reg == nil {
+		return nil
+	}
+	l := []string{"instance", instance, "algorithm", algorithm, "backend", backend}
+	c := &Convergence{
+		iters: reg.Counter("antgpu_iterations_total",
+			"ACO iterations completed.", l...),
+		iterBest: reg.Gauge("antgpu_iteration_best_length",
+			"Best tour length found in the latest iteration.", l...),
+		iterMean: reg.Gauge("antgpu_iteration_mean_length",
+			"Mean tour length over all ants in the latest iteration.", l...),
+		best: reg.Gauge("antgpu_best_length",
+			"Best-so-far tour length.", l...),
+		entropy: reg.Gauge("antgpu_pheromone_entropy",
+			"Mean normalised Shannon entropy of the pheromone rows (1 uniform, 0 converged).", l...),
+		lambda: reg.Gauge("antgpu_lambda_branching",
+			"Average lambda-branching factor of the pheromone matrix (stagnation when near 2).", l...),
+	}
+	if optimum > 0 {
+		c.optimum = float64(optimum)
+		c.gap = reg.Gauge("antgpu_optimum_gap_ratio",
+			"Best-so-far tour length over the known optimum, minus one.", l...)
+	}
+	return c
+}
+
+// RecordIteration publishes one iteration's solution-quality metrics:
+// the iteration's best and mean tour length and the best-so-far.
+func (c *Convergence) RecordIteration(iterBest, iterMean float64, bestSoFar int64) {
+	if c == nil {
+		return
+	}
+	c.iters.Inc()
+	c.iterBest.Set(iterBest)
+	c.iterMean.Set(iterMean)
+	c.best.Set(float64(bestSoFar))
+	if c.optimum > 0 {
+		c.gap.Set(float64(bestSoFar)/c.optimum - 1)
+	}
+}
+
+// RecordPheromone64 publishes the stagnation statistics of an n×n float64
+// pheromone matrix (the CPU colony's trails).
+func (c *Convergence) RecordPheromone64(pher []float64, n int) {
+	if c == nil {
+		return
+	}
+	c.entropy.Set(Entropy64(pher, n))
+	c.lambda.Set(LambdaBranching64(pher, n))
+}
+
+// RecordPheromone32 publishes the stagnation statistics of an n×n float32
+// pheromone matrix (the device trails).
+func (c *Convergence) RecordPheromone32(pher []float32, n int) {
+	if c == nil {
+		return
+	}
+	c.entropy.Set(Entropy32(pher, n))
+	c.lambda.Set(LambdaBranching32(pher, n))
+}
+
+// Entropy64 returns the mean normalised Shannon entropy of the rows of an
+// n×n pheromone matrix: each row's off-diagonal values are normalised to a
+// distribution, its entropy divided by log(n−1), and the rows averaged.
+// 1 means uniform trails, 0 means every city has a single dominant edge.
+func Entropy64(pher []float64, n int) float64 {
+	return entropy(func(i int) float64 { return pher[i] }, n)
+}
+
+// Entropy32 is Entropy64 over float32 trails.
+func Entropy32(pher []float32, n int) float64 {
+	return entropy(func(i int) float64 { return float64(pher[i]) }, n)
+}
+
+func entropy(at func(int) float64, n int) float64 {
+	if n < 3 {
+		return 0
+	}
+	norm := math.Log(float64(n - 1))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := i * n
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum += at(row + j)
+			}
+		}
+		if sum <= 0 {
+			continue
+		}
+		h := 0.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			p := at(row+j) / sum
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		total += h / norm
+	}
+	return total / float64(n)
+}
+
+// LambdaBranching64 returns the average λ-branching factor of an n×n
+// pheromone matrix: per city, the number of edges whose trail is at least
+// τmin + λ·(τmax − τmin) over that city's row, averaged over cities.
+func LambdaBranching64(pher []float64, n int) float64 {
+	return lambdaBranching(func(i int) float64 { return pher[i] }, n)
+}
+
+// LambdaBranching32 is LambdaBranching64 over float32 trails.
+func LambdaBranching32(pher []float32, n int) float64 {
+	return lambdaBranching(func(i int) float64 { return float64(pher[i]) }, n)
+}
+
+func lambdaBranching(at func(int) float64, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		row := i * n
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			v := at(row + j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		cut := lo + LambdaBranchingFactor*(hi-lo)
+		for j := 0; j < n; j++ {
+			if j != i && at(row+j) >= cut {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(n)
+}

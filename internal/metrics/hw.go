@@ -1,0 +1,70 @@
+package metrics
+
+import "antgpu/internal/cuda"
+
+// HW streams the simulated device's per-launch hardware counters into a
+// registry, labeled by kernel and device — the queryable form of the
+// architectural signals the paper's analysis rests on (§IV–V): warp
+// instruction issues and divergence re-issues, coalesced global-memory
+// transactions, shared-memory bank-conflict replays, atomic contention and
+// texture-cache behaviour.
+//
+// Install it on a device with dev.Metrics = NewHW(reg, dev); it observes
+// every completed launch independently of the profiling Observer, so
+// tracing and metrics can run together. A nil *HW never observes, and the
+// device's launch path checks the field for nil before calling — metrics
+// off costs nothing per launch.
+type HW struct {
+	reg          *Registry
+	device       string
+	segmentBytes float64
+}
+
+// NewHW returns a hardware-counter observer writing to reg, labeling every
+// series with the device's name. A nil registry returns a nil (disabled)
+// observer.
+func NewHW(reg *Registry, dev *cuda.Device) *HW {
+	if reg == nil {
+		return nil
+	}
+	return &HW{reg: reg, device: dev.Name, segmentBytes: float64(dev.SegmentBytes)}
+}
+
+// ObserveLaunch implements cuda.LaunchObserver.
+func (h *HW) ObserveLaunch(cfg *cuda.LaunchConfig, res *cuda.LaunchResult) {
+	if h == nil {
+		return
+	}
+	l := []string{"kernel", res.Name, "device", h.device}
+	r := h.reg
+	m := &res.Meter
+
+	r.Counter("antgpu_kernel_launches_total",
+		"Kernel launches completed on the simulated device.", l...).Inc()
+	r.Counter("antgpu_kernel_sim_seconds_total",
+		"Simulated kernel execution time in seconds.", l...).Add(res.Seconds)
+	r.Counter("antgpu_kernel_warp_issues_total",
+		"Warp instruction issues, including divergence and conflict replays.", l...).Add(m.Issues())
+	r.Counter("antgpu_kernel_divergent_replays_total",
+		"Extra warp issues caused by intra-warp branch divergence.", l...).Add(m.DivergentExtra)
+	r.Counter("antgpu_kernel_global_transactions_total",
+		"Coalesced global-memory transactions, including texture misses.", l...).Add(float64(m.GlobalTx()))
+	r.Counter("antgpu_kernel_global_bytes_total",
+		"DRAM traffic in bytes (transactions times the coalescing segment size).",
+		l...).Add(float64(m.GlobalTx()) * h.segmentBytes)
+	r.Counter("antgpu_kernel_bank_conflict_replays_total",
+		"Shared-memory instruction replays caused by bank conflicts.", l...).Add(m.SharedReplays)
+	r.Counter("antgpu_kernel_atomic_ops_total",
+		"Per-lane atomic operations executed.", l...).Add(float64(m.AtomicOps))
+	r.Counter("antgpu_kernel_atomic_serialized_total",
+		"Extra atomic operations serialised by address conflicts.", l...).Add(m.AtomicSerialExtra)
+	r.Counter("antgpu_kernel_tex_fetches_total",
+		"Texture cache fetches.", l...).Add(float64(m.TexFetches))
+	r.Counter("antgpu_kernel_tex_hits_total",
+		"Texture cache hits.", l...).Add(float64(m.TexHits))
+	r.Gauge("antgpu_kernel_occupancy_ratio",
+		"Warp occupancy fraction of the latest launch (resident/max warps per SM).",
+		l...).Set(res.Occupancy.Fraction)
+	r.Histogram("antgpu_kernel_duration_seconds",
+		"Distribution of simulated kernel durations in seconds.", TimeBuckets, l...).Observe(res.Seconds)
+}

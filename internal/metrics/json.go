@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// Snapshot is a point-in-time copy of every family and series in a
+// registry, in the exposition order (families by name, series by label
+// values). It is the JSON introspection view served at /debug/antgpu.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family of a Snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one labeled series of a FamilySnapshot. Counters and
+// gauges fill Value; histograms fill Buckets, Sum and Count.
+type SeriesSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE         float64 `json:"le"`
+	Cumulative uint64  `json:"cumulative"`
+}
+
+// Snapshot copies the registry's current state. A nil registry returns an
+// empty (non-nil) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{Families: []FamilySnapshot{}}
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.sortedFamilies() {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		for _, s := range f.sortedSeries() {
+			ss := SeriesSnapshot{}
+			if len(f.keys) > 0 {
+				ss.Labels = make(map[string]string, len(f.keys))
+				for i, k := range f.keys {
+					ss.Labels[k] = s.vals[i]
+				}
+			}
+			if f.kind == KindHistogram {
+				counts, sum, count := s.histSnapshot()
+				cum := uint64(0)
+				for i, ub := range f.buckets {
+					cum += counts[i]
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: ub, Cumulative: cum})
+				}
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: math.Inf(1), Cumulative: count})
+				ss.Sum, ss.Count = sum, count
+			} else {
+				ss.Value = math.Float64frombits(s.bits.Load())
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Family returns the snapshot of the named family, or nil.
+func (s *Snapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON. +Inf bucket bounds are
+// encoded as the string "+Inf" (JSON has no infinity literal).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MarshalJSON encodes the bucket with its +Inf bound as a string.
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := any(b.LE)
+	if math.IsInf(b.LE, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		LE         any    `json:"le"`
+		Cumulative uint64 `json:"cumulative"`
+	}{le, b.Cumulative})
+}
+
+// UnmarshalJSON decodes a bucket whose le may be the string "+Inf".
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE         any    `json:"le"`
+		Cumulative uint64 `json:"cumulative"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Cumulative = raw.Cumulative
+	switch v := raw.LE.(type) {
+	case float64:
+		b.LE = v
+	case string:
+		b.LE = math.Inf(1)
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+// Package metrics is the telemetry registry of the solver stack: a
+// dependency-free (standard library only) collection of counters, gauges
+// and fixed-bucket histograms, grouped into labeled families, with
+// Prometheus text-format exposition (prom.go), a JSON snapshot API
+// (json.go) and an optional HTTP server (serve.go).
+//
+// Three producer layers feed it: the simulated GPU's hardware counters
+// (hw.go, one series per kernel and device — the signals behind the
+// paper's Tables II–IV), the ACO convergence statistics (convergence.go —
+// per-iteration best/mean tour length, pheromone entropy and λ-branching,
+// the quality view of Skinderowicz's follow-up work), and the batch
+// scheduler / fault-recovery runtime (wired by the facade).
+//
+// Everything is nil-safe end to end: a nil *Registry hands out zero-value
+// instruments whose methods are no-ops, so producers guard one pointer and
+// metrics collection that is off costs nothing on the solve hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the metric family types.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket cumulative distribution.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TimeBuckets is the fixed bucket layout of duration histograms, in
+// seconds: 1 µs to ~100 s in factor-of-4 steps. Fixed layouts keep every
+// exposition of one family mergeable across processes and runs.
+var TimeBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 16, 64,
+}
+
+// Registry holds metric families keyed by name. It is safe for concurrent
+// use; the zero value is not ready — use New. A nil *Registry is a valid
+// disabled registry: every accessor returns a no-op instrument.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one named metric family: a kind, a help string, an ordered
+// label-key set, and the live series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	keys    []string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion order of series keys (exposition sorts)
+}
+
+// series is one labeled time series. Counters and gauges store their value
+// as float64 bits in an atomic word; histograms keep per-bucket counts
+// under the histogram mutex.
+type series struct {
+	vals []string // label values, in family key order
+
+	bits atomic.Uint64 // counter/gauge value (math.Float64bits)
+
+	hmu    sync.Mutex
+	counts []uint64 // cumulative within observe, one per bucket
+	sum    float64
+	count  uint64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter is a handle to one counter series. The zero value is a no-op.
+type Counter struct{ s *series }
+
+// Gauge is a handle to one gauge series. The zero value is a no-op.
+type Gauge struct{ s *series }
+
+// Histogram is a handle to one histogram series. The zero value is a
+// no-op.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Counter returns (creating on first use) the counter series of the given
+// family and labels. labels alternate key, value; every call for one
+// family must use the same keys in the same order. A nil registry returns
+// a no-op counter.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{s: r.lookup(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge returns (creating on first use) the gauge series of the given
+// family and labels. A nil registry returns a no-op gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{s: r.lookup(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram returns (creating on first use) the histogram series of the
+// given family and labels, with the bucket upper bounds fixed at family
+// creation (later calls reuse the first layout). A nil registry returns a
+// no-op histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	f := r.familyOf(name, help, KindHistogram, buckets, labels)
+	return Histogram{s: f.seriesOf(labels), buckets: f.buckets}
+}
+
+// lookup resolves the series of a counter or gauge family.
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labels []string) *series {
+	f := r.familyOf(name, help, kind, buckets, labels)
+	return f.seriesOf(labels)
+}
+
+// familyOf returns the family, creating and validating it on first use.
+// Mismatched kind or label keys are programmer errors and panic with a
+// message naming the family (the facade's Solve recover turns any such
+// panic into an error instead of crashing the process).
+func (r *Registry) familyOf(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: family %s: odd label list (want key,value pairs)", name))
+	}
+	keys := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		keys = append(keys, labels[i])
+	}
+
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.families[name]; !ok {
+			if !validName(name) {
+				r.mu.Unlock()
+				panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+			}
+			for _, k := range keys {
+				if !validName(k) {
+					r.mu.Unlock()
+					panic(fmt.Sprintf("metrics: family %s: invalid label name %q", name, k))
+				}
+			}
+			b := buckets
+			if kind == KindHistogram {
+				if len(b) == 0 {
+					b = TimeBuckets
+				}
+				b = append([]float64(nil), b...)
+				sort.Float64s(b)
+			}
+			f = &family{
+				name: name, help: help, kind: kind,
+				keys:    append([]string(nil), keys...),
+				buckets: b,
+				series:  make(map[string]*series),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: family %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if len(keys) != len(f.keys) {
+		panic(fmt.Sprintf("metrics: family %s has label keys %v, requested %v", name, f.keys, keys))
+	}
+	for i, k := range keys {
+		if k != f.keys[i] {
+			panic(fmt.Sprintf("metrics: family %s has label keys %v, requested %v", name, f.keys, keys))
+		}
+	}
+	return f
+}
+
+// seriesOf returns the series for the label values, creating it on first
+// use.
+func (f *family) seriesOf(labels []string) *series {
+	vals := make([]string, 0, len(labels)/2)
+	for i := 1; i < len(labels); i += 2 {
+		vals = append(vals, labels[i])
+	}
+	key := strings.Join(vals, "\x00")
+
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[key]; ok {
+		return s
+	}
+	s = &series{vals: append([]string(nil), vals...)}
+	if f.kind == KindHistogram {
+		s.counts = make([]uint64, len(f.buckets))
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Add increases the counter by v. Negative or NaN deltas are dropped —
+// counters are monotonic by contract.
+func (c Counter) Add(v float64) {
+	if c.s == nil || !(v > 0) {
+		return
+	}
+	c.s.addFloat(v)
+}
+
+// Inc increases the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current value (0 for a no-op counter).
+func (c Counter) Value() float64 {
+	if c.s == nil {
+		return 0
+	}
+	return math.Float64frombits(c.s.bits.Load())
+}
+
+// Set sets the gauge to v.
+func (g Gauge) Set(v float64) {
+	if g.s == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (which may be negative).
+func (g Gauge) Add(v float64) {
+	if g.s == nil || v != v {
+		return
+	}
+	g.s.addFloat(v)
+}
+
+// Value returns the gauge's current value (0 for a no-op gauge).
+func (g Gauge) Value() float64 {
+	if g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.bits.Load())
+}
+
+// addFloat atomically adds v to the series' float64 word.
+func (s *series) addFloat(v float64) {
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Observe records one sample in the histogram. NaN samples are dropped.
+func (h Histogram) Observe(v float64) {
+	if h.s == nil || v != v {
+		return
+	}
+	s := h.s
+	s.hmu.Lock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+	s.sum += v
+	s.count++
+	s.hmu.Unlock()
+}
+
+// Count returns the number of observations recorded (0 for a no-op
+// histogram).
+func (h Histogram) Count() uint64 {
+	if h.s == nil {
+		return 0
+	}
+	h.s.hmu.Lock()
+	defer h.s.hmu.Unlock()
+	return h.s.count
+}
+
+// validName reports whether s is a legal Prometheus metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]* (label names additionally must not start with
+// __, which this package never generates).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedFamilies returns the families ordered by name.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns the family's series ordered by joined label values.
+func (f *family) sortedSeries() []*series {
+	f.mu.RLock()
+	keys := append([]string(nil), f.order...)
+	out := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	f.mu.RUnlock()
+	return out
+}
+
+// histSnapshot copies the histogram state of a series consistently.
+func (s *series) histSnapshot() (counts []uint64, sum float64, count uint64) {
+	s.hmu.Lock()
+	counts = append([]uint64(nil), s.counts...)
+	sum, count = s.sum, s.count
+	s.hmu.Unlock()
+	return counts, sum, count
+}

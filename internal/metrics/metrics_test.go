@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_ops_total", "Ops.", "kind", "a")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value = %g, want 3.5", got)
+	}
+	// Counters are monotonic: negative, zero and NaN deltas are dropped.
+	c.Add(-1)
+	c.Add(0)
+	c.Add(nan())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value after invalid adds = %g, want 3.5", got)
+	}
+	// Same family and labels resolves to the same series.
+	if got := r.Counter("test_ops_total", "Ops.", "kind", "a").Value(); got != 3.5 {
+		t.Fatalf("re-resolved Value = %g, want 3.5", got)
+	}
+	// Different label values are distinct series.
+	if got := r.Counter("test_ops_total", "Ops.", "kind", "b").Value(); got != 0 {
+		t.Fatalf("sibling series Value = %g, want 0", got)
+	}
+}
+
+func nan() float64 {
+	v := 0.0
+	return v / v
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := New()
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %g, want 4", got)
+	}
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("Value = %g, want -2 (gauges may go negative)", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_seconds", "Durations.", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	h.Observe(nan()) // dropped
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	snap := r.Snapshot().Family("test_seconds")
+	if snap == nil {
+		t.Fatal("family missing from snapshot")
+	}
+	s := snap.Series[0]
+	// Cumulative: <=1 holds {0.5, 1}, <=10 adds 5, <=100 adds 50, +Inf = 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.Cumulative != want[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Cumulative, want[i])
+		}
+	}
+	if s.Sum != 556.5 || s.Count != 5 {
+		t.Fatalf("sum/count = %g/%d, want 556.5/5", s.Sum, s.Count)
+	}
+}
+
+func TestHistogramDefaultsToTimeBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_default_seconds", "Durations.", nil)
+	h.Observe(1e-5)
+	s := r.Snapshot().Family("test_default_seconds").Series[0]
+	if got, want := len(s.Buckets), len(TimeBuckets)+1; got != want {
+		t.Fatalf("bucket count = %d, want %d (TimeBuckets + Inf)", got, want)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("x", "x")
+	h := r.Histogram("x_seconds", "x", nil)
+	c.Inc()
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("no-op instruments recorded values")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+	if snap := r.Snapshot(); snap == nil || len(snap.Families) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestRegistrationErrorsPanic(t *testing.T) {
+	r := New()
+	r.Counter("test_total", "t", "k", "v")
+	mustPanic(t, "invalid metric name", func() { r.Counter("0bad", "t") })
+	mustPanic(t, "invalid label name", func() { r.Counter("test2_total", "t", "0bad", "v") })
+	mustPanic(t, "kind mismatch", func() { r.Gauge("test_total", "t", "k", "v") })
+	mustPanic(t, "label key mismatch", func() { r.Counter("test_total", "t", "other", "v") })
+	mustPanic(t, "label count mismatch", func() { r.Counter("test_total", "t") })
+	mustPanic(t, "odd label list", func() { r.Counter("test3_total", "t", "k") })
+}
+
+// TestConcurrency hammers one registry from many goroutines — mixed
+// resolution of existing and new series, all three instrument kinds, and
+// concurrent expositions — and checks the counts are exact. Run with -race.
+func TestConcurrency(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("conc_ops_total", "Ops.", "shard", "shared").Inc()
+				r.Counter("conc_ops_total", "Ops.", "shard", fmt.Sprintf("w%d", w)).Inc()
+				r.Gauge("conc_depth", "Depth.").Set(float64(i))
+				r.Histogram("conc_seconds", "Durations.", nil).Observe(float64(i) * 1e-6)
+				if i%500 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("conc_ops_total", "Ops.", "shard", "shared").Value(); got != workers*perWorker {
+		t.Fatalf("shared counter = %g, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		shard := fmt.Sprintf("w%d", w)
+		if got := r.Counter("conc_ops_total", "Ops.", "shard", shard).Value(); got != perWorker {
+			t.Fatalf("shard %s counter = %g, want %d", shard, got, perWorker)
+		}
+	}
+	if got := r.Histogram("conc_seconds", "Durations.", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

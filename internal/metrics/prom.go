@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// values, every family preceded by its # HELP and # TYPE lines. The output
+// of one registry state is byte-deterministic. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindHistogram:
+				writeHistogram(bw, f, s)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(f.keys, s.vals, "", ""),
+					formatValue(math.Float64frombits(s.bits.Load())))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram writes the cumulative _bucket series plus _sum and
+// _count.
+func writeHistogram(w io.Writer, f *family, s *series) {
+	counts, sum, count := s.histSnapshot()
+	cum := uint64(0)
+	for i, ub := range f.buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(f.keys, s.vals, "le", formatValue(ub)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.keys, s.vals, "le", "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.keys, s.vals, "", ""), formatValue(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.keys, s.vals, "", ""), count)
+}
+
+// labelString renders {k="v",...}, appending the extra pair when extraKey
+// is non-empty; an empty label set renders as the empty string.
+func labelString(keys, vals []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float in the shortest exact form Prometheus
+// accepts.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v != v:
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Lint validates a Prometheus text exposition the way promtool's checks
+// do, restricted to the rules this package's own output must satisfy:
+//
+//   - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - every sample's family has # TYPE (and # HELP) declared before it,
+//     with a valid type, and declared at most once
+//   - counter family names end in _total
+//   - sample values parse as Go floats
+//   - no duplicate series (same name and label set twice)
+//   - histogram families expose a +Inf _bucket whose value equals _count,
+//     with cumulative (non-decreasing) bucket counts
+//
+// It returns one error per violation, or nil for a clean exposition.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	type histState struct {
+		lastCum  float64
+		infSeen  bool
+		infValue float64
+		count    float64
+		hasCount bool
+		line     int
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validName(name) {
+				fail(lineNo, "invalid metric name %q in %s", name, fields[1])
+				continue
+			}
+			if fields[1] == "HELP" {
+				if helped[name] {
+					fail(lineNo, "second HELP for %s", name)
+				}
+				helped[name] = true
+				continue
+			}
+			if _, dup := typed[name]; dup {
+				fail(lineNo, "second TYPE for %s", name)
+			}
+			typ := ""
+			if len(fields) >= 4 {
+				typ = strings.TrimSpace(fields[3])
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail(lineNo, "invalid TYPE %q for %s", typ, name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				fail(lineNo, "counter %s does not end in _total", name)
+			}
+			typed[name] = typ
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			fail(lineNo, "unparsable sample %q", line)
+			continue
+		}
+		if !validName(name) {
+			fail(lineNo, "invalid metric name %q", name)
+		}
+		base := histBase(name, typed)
+		if _, ok := typed[base]; !ok {
+			fail(lineNo, "sample %s has no preceding TYPE", name)
+		}
+		if !helped[base] {
+			fail(lineNo, "sample %s has no preceding HELP", name)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			fail(lineNo, "duplicate series %s{%s}", name, labels)
+		}
+		seen[key] = true
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			fail(lineNo, "sample %s has non-float value %q", name, value)
+			continue
+		}
+
+		if typed[base] == "histogram" {
+			hkey := base + "|" + stripLe(labels)
+			h := hists[hkey]
+			if h == nil {
+				h = &histState{line: lineNo}
+				hists[hkey] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le, ok := leOf(labels); ok {
+					if le == "+Inf" {
+						h.infSeen, h.infValue = true, v
+					} else if v < h.lastCum {
+						fail(lineNo, "histogram %s bucket counts decrease (%g after %g)", base, v, h.lastCum)
+					}
+					if le != "+Inf" {
+						h.lastCum = v
+					}
+				} else {
+					fail(lineNo, "histogram bucket %s missing le label", name)
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.count, h.hasCount = v, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+
+	var hkeys []string
+	for k := range hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := hists[k]
+		base := strings.SplitN(k, "|", 2)[0]
+		if !h.infSeen {
+			fail(h.line, "histogram %s has no +Inf bucket", base)
+			continue
+		}
+		if h.hasCount && h.infValue != h.count {
+			fail(h.line, "histogram %s +Inf bucket %g != _count %g", base, h.infValue, h.count)
+		}
+		if h.lastCum > h.infValue {
+			fail(h.line, "histogram %s +Inf bucket %g below last bucket %g", base, h.infValue, h.lastCum)
+		}
+	}
+	return errs
+}
+
+// parseSample splits a sample line into name, raw label body and value.
+func parseSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", "", false
+		}
+		name, rest = fields[0], strings.Join(fields[1:], " ")
+	}
+	// Drop an optional timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", "", false
+	}
+	return name, labels, fields[0], true
+}
+
+// histBase strips a histogram sample suffix so _bucket/_sum/_count rows
+// resolve to their declared family name.
+func histBase(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if typed[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// stripLe removes the le pair from a label body so every bucket of one
+// series shares a key.
+func stripLe(labels string) string {
+	parts := strings.Split(labels, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// leOf extracts the le label value from a bucket's label body.
+func leOf(labels string) (string, bool) {
+	for _, p := range strings.Split(labels, ",") {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			return strings.TrimSuffix(v, `"`), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func exposition(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("b_ops_total", "Ops counted.", "kind", "x").Add(3)
+	r.Counter("b_ops_total", "Ops counted.", "kind", "a").Inc()
+	r.Gauge("a_depth", "Current depth.").Set(2.5)
+
+	got := exposition(t, r)
+	want := `# HELP a_depth Current depth.
+# TYPE a_depth gauge
+a_depth 2.5
+# HELP b_ops_total Ops counted.
+# TYPE b_ops_total counter
+b_ops_total{kind="a"} 1
+b_ops_total{kind="x"} 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Byte-deterministic across calls.
+	if again := exposition(t, r); again != got {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1}, "op", "solve")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	got := exposition(t, r)
+	for _, line := range []string{
+		`lat_seconds_bucket{op="solve",le="0.1"} 1`,
+		`lat_seconds_bucket{op="solve",le="1"} 2`,
+		`lat_seconds_bucket{op="solve",le="+Inf"} 3`,
+		`lat_seconds_sum{op="solve"} 5.55`,
+		`lat_seconds_count{op="solve"} 3`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("esc_total", "Esc.", "path", "a\\b\"c\nd").Inc()
+	got := exposition(t, r)
+	if !strings.Contains(got, `esc_total{path="a\\b\"c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", got)
+	}
+}
+
+// TestLintAcceptsOwnOutput: the vendored validator passes everything this
+// package generates, including all three kinds and labeled families.
+func TestLintAcceptsOwnOutput(t *testing.T) {
+	r := New()
+	r.Counter("ok_ops_total", "Ops.", "k", "v").Inc()
+	r.Gauge("ok_depth", "Depth.").Set(1)
+	r.Histogram("ok_seconds", "Durations.", nil, "k", "v").Observe(0.01)
+	if errs := Lint(strings.NewReader(exposition(t, r))); len(errs) != 0 {
+		t.Fatalf("Lint flagged our own exposition: %v", errs)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the expected error
+	}{
+		{
+			"counter without _total",
+			"# HELP bad_ops Ops.\n# TYPE bad_ops counter\nbad_ops 1\n",
+			"does not end in _total",
+		},
+		{
+			"sample without TYPE",
+			"orphan_total 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"sample without HELP",
+			"# TYPE lonely_total counter\nlonely_total 1\n",
+			"no preceding HELP",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP x_total X.\n# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n",
+			"second TYPE",
+		},
+		{
+			"invalid type",
+			"# HELP x_total X.\n# TYPE x_total widget\nx_total 1\n",
+			"invalid TYPE",
+		},
+		{
+			"duplicate series",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total{a=\"1\"} 1\nx_total{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"non-float value",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total banana\n",
+			"non-float value",
+		},
+		{
+			"invalid metric name",
+			"# HELP 9bad X.\n# TYPE 9bad gauge\n9bad 1\n",
+			"invalid metric name",
+		},
+		{
+			"histogram missing +Inf",
+			"# HELP h X.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\nh_sum 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"histogram +Inf != count",
+			"# HELP h X.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 3\nh_sum 1\n",
+			"!= _count",
+		},
+		{
+			"histogram decreasing buckets",
+			"# HELP h X.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+			"decrease",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(strings.NewReader(tc.in))
+			if len(errs) == 0 {
+				t.Fatalf("Lint accepted:\n%s", tc.in)
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error containing %q in %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("rt_total", "RT.", "k", "v").Add(2)
+	r.Histogram("rt_seconds", "RT.", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`"rt_total"`, `"counter"`, `"le": "+Inf"`, `"cumulative": 1`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry at two paths:
+// /metrics (Prometheus text exposition) and /debug/antgpu (JSON snapshot).
+// A nil registry serves empty expositions, so a server can be wired before
+// metrics are enabled.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/antgpu", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// Server is a running metrics HTTP server (see Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. ":9090", or "127.0.0.1:0" for
+// an ephemeral port) exposing /metrics and /debug/antgpu for the registry.
+// It returns once the listener is bound; the server runs until Close. This
+// is the long-running-pool hook: create the pool with a Metrics registry,
+// Serve it, and scrape.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

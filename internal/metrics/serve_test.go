@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("srv_ops_total", "Ops.", "kind", "test").Add(4)
+	r.Gauge("srv_depth", "Depth.").Set(2)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `srv_ops_total{kind="test"} 4`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if errs := Lint(strings.NewReader(body)); len(errs) != 0 {
+		t.Errorf("/metrics fails lint: %v", errs)
+	}
+
+	body, ct = get("/debug/antgpu")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/antgpu Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/antgpu is not valid JSON: %v", err)
+	}
+	if f := snap.Family("srv_depth"); f == nil || f.Series[0].Value != 2 {
+		t.Errorf("/debug/antgpu missing gauge: %s", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", New()); err == nil {
+		t.Fatal("Serve accepted an invalid address")
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("Serve(nil): %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil registry /metrics status %d", resp.StatusCode)
+	}
+}

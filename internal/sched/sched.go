@@ -27,6 +27,25 @@ import (
 // jobs with ctx.Err() while already-running jobs finish on their own
 // cancellation checks. Run returns only after every started job finished.
 func Run(ctx context.Context, n, workers int, job func(ctx context.Context, i int) error) []error {
+	return RunHooked(ctx, n, workers, job, Hooks{})
+}
+
+// Hooks observe the pool's scheduling decisions — the introspection points
+// the metrics layer turns into queue-depth and worker-utilisation gauges.
+// Either hook may be nil. Hooks are called from worker goroutines and must
+// be safe for concurrent use.
+type Hooks struct {
+	// Start is called when a worker picks job i up, with the number of
+	// submitted jobs not yet started (the queue depth behind it) and the
+	// number of workers now busy including this one.
+	Start func(i, queued, busy int)
+	// Done is called when job i returns, with its error and the number of
+	// workers still busy after it.
+	Done func(i int, err error, busy int)
+}
+
+// RunHooked is Run with scheduling hooks.
+func RunHooked(ctx context.Context, n, workers int, job func(ctx context.Context, i int) error, h Hooks) []error {
 	errs := make([]error, n)
 	if n == 0 {
 		return errs
@@ -38,6 +57,11 @@ func Run(ctx context.Context, n, workers int, job func(ctx context.Context, i in
 		workers = n
 	}
 
+	// started counts jobs picked up, busy counts workers inside job; both
+	// only matter when hooks observe them.
+	var mu sync.Mutex
+	started, busy := 0, 0
+
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -45,11 +69,30 @@ func Run(ctx context.Context, n, workers int, job func(ctx context.Context, i in
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if h.Start != nil || h.Done != nil {
+					mu.Lock()
+					started++
+					busy++
+					q, b := n-started, busy
+					mu.Unlock()
+					if h.Start != nil {
+						h.Start(i, q, b)
+					}
+				}
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
-					continue
+				} else {
+					errs[i] = job(ctx, i)
 				}
-				errs[i] = job(ctx, i)
+				if h.Start != nil || h.Done != nil {
+					mu.Lock()
+					busy--
+					b := busy
+					mu.Unlock()
+					if h.Done != nil {
+						h.Done(i, errs[i], b)
+					}
+				}
 			}
 		}()
 	}

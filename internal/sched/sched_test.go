@@ -180,3 +180,82 @@ func TestCacheSingleflight(t *testing.T) {
 		t.Errorf("%d hits, want %d", hits, goroutines-1)
 	}
 }
+
+// TestRunHookedObservesEveryJob: every job gets exactly one Start and one
+// Done call, the reported queue depth and busy count stay within the
+// scheduler's invariants, and job errors reach the Done hook.
+func TestRunHookedObservesEveryJob(t *testing.T) {
+	const n, workers = 40, 4
+	var mu sync.Mutex
+	starts := make(map[int]int)
+	dones := make(map[int]int)
+	boom := errors.New("boom")
+	maxBusy := 0
+
+	h := Hooks{
+		Start: func(i, queued, busy int) {
+			mu.Lock()
+			defer mu.Unlock()
+			starts[i]++
+			if queued < 0 || queued >= n {
+				t.Errorf("job %d: queued %d out of range", i, queued)
+			}
+			if busy < 1 || busy > workers {
+				t.Errorf("job %d: busy %d out of [1, %d]", i, busy, workers)
+			}
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+		},
+		Done: func(i int, err error, busy int) {
+			mu.Lock()
+			defer mu.Unlock()
+			dones[i]++
+			if busy < 0 || busy >= workers {
+				t.Errorf("job %d: post-done busy %d out of [0, %d)", i, busy, workers)
+			}
+			if (i == 7) != (err == boom) {
+				t.Errorf("job %d: Done err = %v", i, err)
+			}
+		},
+	}
+	// Jobs 0..workers-1 are picked up first, one per worker; a barrier
+	// holds them in flight together so the busy gauge provably exceeds 1.
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	errs := RunHooked(context.Background(), n, workers, func(_ context.Context, i int) error {
+		if i < workers {
+			barrier.Done()
+			barrier.Wait()
+		}
+		if i == 7 {
+			return boom
+		}
+		return nil
+	}, h)
+
+	for i := 0; i < n; i++ {
+		if starts[i] != 1 || dones[i] != 1 {
+			t.Fatalf("job %d: %d starts, %d dones, want 1 and 1", i, starts[i], dones[i])
+		}
+	}
+	if maxBusy != workers {
+		t.Errorf("max busy %d, want all %d workers observed in flight", maxBusy, workers)
+	}
+	if !errors.Is(errs[7], boom) {
+		t.Errorf("errs[7] = %v, want boom", errs[7])
+	}
+}
+
+// Run with no hooks must not pay the hook bookkeeping; this just pins the
+// delegation so a refactor can't fork the two paths apart.
+func TestRunDelegatesToRunHooked(t *testing.T) {
+	var ran atomic.Int32
+	errs := Run(context.Background(), 5, 2, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if ran.Load() != 5 || len(errs) != 5 {
+		t.Fatalf("ran %d jobs with %d errs, want 5 and 5", ran.Load(), len(errs))
+	}
+}

@@ -292,3 +292,41 @@ func TestCPUColonyTraceSpans(t *testing.T) {
 		t.Fatal("CPU trace summary is empty")
 	}
 }
+
+// TestSummaryPercentiles: p50/p95 are nearest-rank over the per-launch
+// simulated durations of each kernel, independent of observation order.
+func TestSummaryPercentiles(t *testing.T) {
+	c := trace.NewCollector()
+	// 20 launches at 1..20 ms, shuffled order: p50 = 10 ms, p95 = 19 ms.
+	for _, ms := range []int{7, 3, 20, 1, 12, 9, 16, 5, 18, 2, 11, 8, 14, 4, 19, 6, 13, 10, 17, 15} {
+		cfg, res := fakeLaunch("k", float64(ms)*1e-3)
+		c.ObserveLaunch(cfg, res)
+	}
+	cfg, res := fakeLaunch("once", 4e-3)
+	c.ObserveLaunch(cfg, res)
+
+	for _, s := range c.Summary() {
+		switch s.Name {
+		case "k":
+			if math.Abs(s.P50Seconds-10e-3) > 1e-12 {
+				t.Errorf("k p50 = %g, want 10e-3", s.P50Seconds)
+			}
+			if math.Abs(s.P95Seconds-19e-3) > 1e-12 {
+				t.Errorf("k p95 = %g, want 19e-3", s.P95Seconds)
+			}
+		case "once":
+			// A single launch is its own p50 and p95.
+			if s.P50Seconds != 4e-3 || s.P95Seconds != 4e-3 {
+				t.Errorf("once percentiles = %g/%g, want 4e-3 both", s.P50Seconds, s.P95Seconds)
+			}
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := c.WriteSummaryCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(csv.String(), "\n", 2)[0], "p50_ms,p95_ms") {
+		t.Fatalf("csv header missing percentile columns:\n%s", csv.String())
+	}
+}

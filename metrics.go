@@ -1,0 +1,104 @@
+package antgpu
+
+import (
+	"io"
+	"net/http"
+
+	"antgpu/internal/metrics"
+)
+
+// Metrics is a metrics registry: a dependency-free collection of counters,
+// gauges and histograms that the solver layers populate when a registry is
+// attached (SolveOptions.Metrics, PoolOptions.Metrics). Expose it over HTTP
+// with ServeMetrics or MetricsHandler, write the Prometheus text format with
+// WritePrometheus, or take a structured snapshot with Snapshot/WriteJSON.
+//
+// A nil *Metrics disables all collection at zero cost: every producer
+// guards a single pointer, so solves without a registry run the exact same
+// instruction stream as before the metrics layer existed.
+//
+// One registry may serve any number of concurrent solves and pools; all
+// instrument operations are safe for concurrent use. The exported series
+// are documented in DESIGN.md §12 (Observability).
+type Metrics = metrics.Registry
+
+// MetricsServer is a live HTTP endpoint started by ServeMetrics.
+type MetricsServer = metrics.Server
+
+// MetricsSnapshot is a point-in-time structured copy of a registry's
+// series, as returned by (*Metrics).Snapshot and served on /debug/antgpu.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsFamily is one metric family of a MetricsSnapshot.
+type MetricsFamily = metrics.FamilySnapshot
+
+// MetricsSeries is one labeled series of a MetricsFamily.
+type MetricsSeries = metrics.SeriesSnapshot
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// MetricsHandler returns an http.Handler exposing the registry: GET
+// /metrics serves the Prometheus text exposition format, GET /debug/antgpu
+// serves the JSON snapshot. Mount it on any mux, or use ServeMetrics to
+// listen on a dedicated address.
+func MetricsHandler(m *Metrics) http.Handler { return metrics.Handler(m) }
+
+// ServeMetrics starts an HTTP server on addr (e.g. "127.0.0.1:9464", or
+// ":0" for an ephemeral port — query Addr for the bound address) exposing
+// the registry as MetricsHandler does. Close shuts it down.
+func ServeMetrics(addr string, m *Metrics) (*MetricsServer, error) { return metrics.Serve(addr, m) }
+
+// LintMetrics validates a Prometheus text-format exposition read from r,
+// returning one error per violation (promtool-style: metric and label name
+// syntax, counter naming, type declarations, duplicate series, histogram
+// invariants). An instrumented run can self-check its own exposition; the
+// CI gate runs it over `acobench -metrics` output.
+func LintMetrics(r io.Reader) []error { return metrics.Lint(r) }
+
+// solveConv builds the per-solve convergence recorder, or nil when no
+// registry is attached (the engines then skip the O(n²) pheromone
+// statistics entirely).
+func solveConv(opts SolveOptions, in *Instance) *metrics.Convergence {
+	if opts.Metrics == nil {
+		return nil
+	}
+	return metrics.NewConvergence(opts.Metrics, in.Name,
+		opts.Algorithm.String(), opts.Backend.String(), opts.Optimum)
+}
+
+// recordSolve publishes the solve-level outcome series: the solves counter
+// (labeled by backend, algorithm and status), the simulated-duration
+// histogram, and — when the solve ran through the fault-tolerant runtime —
+// the recovery activity counters.
+func recordSolve(m *Metrics, opts SolveOptions, res *Result, err error) {
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	backend, algo := opts.Backend.String(), opts.Algorithm.String()
+	m.Counter("antgpu_solves_total", "Solve calls completed.",
+		"backend", backend, "algorithm", algo, "status", status).Inc()
+	if res == nil {
+		return
+	}
+	m.Histogram("antgpu_solve_sim_seconds",
+		"Distribution of per-solve simulated durations in seconds.", metrics.TimeBuckets,
+		"backend", backend, "algorithm", algo).Observe(res.SimulatedSeconds)
+	rep := res.Recovery
+	if rep == nil {
+		return
+	}
+	m.Counter("antgpu_recovery_faults_total",
+		"Device faults observed by the fault-tolerant runtime.").Add(float64(rep.Faults))
+	m.Counter("antgpu_recovery_retries_total",
+		"Iteration or build attempts repeated after a fault.").Add(float64(rep.Retries))
+	m.Counter("antgpu_recovery_resets_total",
+		"Device resets performed during recovery.").Add(float64(rep.Resets))
+	m.Counter("antgpu_recovery_backoff_seconds_total",
+		"Simulated time charged to retry backoff.").Add(rep.BackoffSeconds)
+	if rep.Degraded {
+		m.Counter("antgpu_recovery_failovers_total",
+			"Solves that degraded to the CPU colony.").Inc()
+	}
+}

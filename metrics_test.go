@@ -1,0 +1,191 @@
+package antgpu_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"antgpu"
+)
+
+// TestMetricsEndToEnd is the acceptance path from the issue: attach a
+// registry to a pool, run a batch, scrape /metrics over HTTP, and require
+// a valid exposition containing at least one kernel-labeled hardware
+// counter, one convergence gauge and one scheduler gauge. The JSON debug
+// endpoint must round-trip into a MetricsSnapshot.
+func TestMetricsEndToEnd(t *testing.T) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := antgpu.NewMetrics()
+	srv, err := antgpu.ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: 2, Metrics: reg})
+	if pool.Metrics() != reg {
+		t.Fatal("Pool.Metrics() does not return the attached registry")
+	}
+	rep, err := pool.SolveBatch(context.Background(), []antgpu.SolveRequest{
+		{Instance: in, Options: antgpu.SolveOptions{
+			Iterations: 3, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 1},
+		}},
+		{Instance: in, Options: antgpu.SolveOptions{
+			Iterations: 3, Params: antgpu.Params{Seed: 2},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range rep.Results {
+		if it.Err != nil {
+			t.Fatalf("request %d: %v", i, it.Err)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if errs := antgpu.LintMetrics(strings.NewReader(string(body))); len(errs) > 0 {
+		t.Errorf("scraped exposition fails lint: %v", errs)
+	}
+	for _, want := range []string{
+		`antgpu_kernel_launches_total{kernel="`, // hardware counter, kernel-labeled
+		`antgpu_pheromone_entropy{`,             // convergence gauge
+		"antgpu_pool_queue_depth",               // scheduler gauge
+		`antgpu_solves_total{`,
+		`backend="gpu"`,
+		`backend="cpu"`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scraped exposition missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/antgpu", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap antgpu.MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/antgpu JSON: %v", err)
+	}
+	if snap.Family("antgpu_kernel_launches_total") == nil {
+		t.Error("/debug/antgpu snapshot missing the kernel launch counter")
+	}
+}
+
+// TestBatchSurfacesRecoveryReports: a faulty request's RecoveryReport is
+// visible on its BatchItem and aggregated into the report totals, while
+// fault-free requests stay nil.
+func TestBatchSurfacesRecoveryReports(t *testing.T) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := antgpu.SolveBatch(context.Background(), []antgpu.SolveRequest{
+		{Instance: in, Options: antgpu.SolveOptions{
+			Iterations: 6, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 1},
+			Faults: &antgpu.FaultPlan{Seed: 7, LaunchRate: 0.08},
+		}},
+		{Instance: in, Options: antgpu.SolveOptions{
+			Iterations: 3, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 1},
+		}},
+	}, antgpu.PoolOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range rep.Results {
+		if it.Err != nil {
+			t.Fatalf("request %d: %v", i, it.Err)
+		}
+	}
+
+	faulty := rep.Results[0].Recovery
+	if faulty == nil {
+		t.Fatal("faulty request's BatchItem.Recovery is nil")
+	}
+	if faulty.Faults == 0 {
+		t.Error("faulty request reports zero faults at LaunchRate 0.08 over 6 iterations")
+	}
+	if clean := rep.Results[1].Recovery; clean != nil {
+		t.Errorf("fault-free request surfaced a recovery report: %+v", clean)
+	}
+	wantFailovers := 0
+	if faulty.Degraded {
+		wantFailovers = 1
+	}
+	if rep.Faults != faulty.Faults || rep.Retries != faulty.Retries ||
+		rep.Resets != faulty.Resets || rep.Failovers != wantFailovers {
+		t.Errorf("report aggregates (faults %d retries %d resets %d failovers %d) != item report %+v",
+			rep.Faults, rep.Retries, rep.Resets, rep.Failovers, *faulty)
+	}
+}
+
+// TestSolveWithMetricsSameResult: attaching a registry must not change
+// what a solve computes — identical tours and simulated time.
+func TestSolveWithMetricsSameResult(t *testing.T) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := antgpu.SolveOptions{Iterations: 5, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 3}}
+	plain, err := antgpu.Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Metrics = antgpu.NewMetrics()
+	opts.Optimum = 10628
+	metered, err := antgpu.Solve(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestLen != metered.BestLen || plain.SimulatedSeconds != metered.SimulatedSeconds {
+		t.Errorf("metrics changed the solve: %d/%g vs %d/%g",
+			plain.BestLen, plain.SimulatedSeconds, metered.BestLen, metered.SimulatedSeconds)
+	}
+}
+
+// BenchmarkSolveMetrics quantifies the observability tax: "off" is the
+// nil-registry fast path (the issue's zero-overhead bar: within noise of
+// the pre-metrics baseline), "on" pays for counter updates plus the
+// per-iteration O(n²) pheromone statistics.
+func BenchmarkSolveMetrics(b *testing.B) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := antgpu.SolveOptions{
+					Iterations: 5, Backend: antgpu.BackendGPU, Params: antgpu.Params{Seed: 1},
+				}
+				if mode == "on" {
+					opts.Metrics = antgpu.NewMetrics()
+				}
+				if _, err := antgpu.Solve(in, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
