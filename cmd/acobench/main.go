@@ -16,6 +16,8 @@
 //	acobench -inject rate=0.02    # fault-injection demo vs the fault-free run
 //	acobench -metrics             # instrumented batch; lint + print the Prometheus exposition
 //	acobench -batch -batchjson BENCH_batch.json   # batch-scheduler throughput
+//	acobench -hostbench           # host-performance harness: scalar vs warp-vector simulator paths
+//	acobench -cpuprofile cpu.pprof -memprofile mem.pprof   # profile the host process
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/bench"
@@ -64,9 +68,41 @@ func run(args []string, stdout io.Writer) error {
 		workers   = fs.Int("workers", 0, "with -batch, worker goroutines (0 = GOMAXPROCS)")
 		seeds     = fs.Int("seeds", 0, "with -batch, independent seeds per instance (0 = default)")
 		iters     = fs.Int("iters", 0, "with -batch, AS iterations per solve (0 = default)")
+		hostbench = fs.Bool("hostbench", false, "host-performance harness: scalar vs warp-vector path, ns per simulated lane-op")
+		hostJSON  = fs.String("hostjson", "BENCH_hostperf.json", "with -hostbench, write the result as JSON to this path (empty = skip)")
+		hostInst  = fs.String("hostinstance", "", "with -hostbench, instance to benchmark on (empty = default)")
+		hostReps  = fs.Int("hostrepeats", 0, "with -hostbench, timed launches per kernel per path (0 = default)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acobench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "acobench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *profile {
@@ -80,6 +116,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *batch {
 		return runBatch(stdout, *batchJSON, *workers, *seeds, *iters)
+	}
+	if *hostbench {
+		return runHostBench(stdout, *hostJSON, *hostInst, *hostReps)
 	}
 	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
 		fs.Usage()
@@ -264,6 +303,32 @@ func runBatch(stdout io.Writer, jsonPath string, workers, seeds, iters int) erro
 	if !r.Identical {
 		return fmt.Errorf("batch results diverged from sequential solves")
 	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runHostBench measures the host cost of every ported kernel under the
+// scalar reference path and the warp-vector fast path, printing the summary
+// and writing the BENCH_hostperf.json trajectory file.
+func runHostBench(stdout io.Writer, jsonPath, instance string, repeats int) error {
+	r, err := bench.HostPerf(bench.HostPerfConfig{Instance: instance, Repeats: repeats})
+	if err != nil {
+		return err
+	}
+	r.Format(stdout)
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
 		if err != nil {

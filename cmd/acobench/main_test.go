@@ -113,6 +113,38 @@ func TestSmokeBatchMode(t *testing.T) {
 	}
 }
 
+func TestSmokeHostBenchMode(t *testing.T) {
+	jsonFile := filepath.Join(t.TempDir(), "BENCH_hostperf.json")
+	var out bytes.Buffer
+	err := run([]string{"-hostbench", "-hostinstance", "att48", "-hostrepeats", "1",
+		"-hostjson", jsonFile}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"host performance:", "tour-data", "speedup"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("hostbench output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Instance string `json:"instance"`
+		Kernels  []struct {
+			Name    string  `json:"name"`
+			Speedup float64 `json:"speedup"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("-hostjson file is not valid JSON: %v", err)
+	}
+	if decoded.Instance != "att48" || len(decoded.Kernels) == 0 {
+		t.Fatalf("bad BENCH_hostperf.json payload: %s", raw)
+	}
+}
+
 func TestSmokeMetricsMode(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-metrics"}, &out); err != nil {

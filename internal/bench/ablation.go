@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
@@ -18,6 +19,7 @@ import (
 // (version 4). The paper derives γ = 2n⁴/θ global accesses: larger tiles
 // amortise global traffic until shared memory and occupancy push back.
 func AblationTheta(dev *cuda.Device, cfg Config, thetas []int) (*Table, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	instances, err := loadAll(cfg.Instances)
 	if err != nil {
@@ -39,6 +41,7 @@ func AblationTheta(dev *cuda.Device, cfg Config, thetas []int) (*Table, error) {
 		}
 		t.AddRow(fmt.Sprintf("theta = %d", theta), vals)
 	}
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }
 
@@ -63,6 +66,7 @@ func pherTiledMillis(dev *cuda.Device, in *tsp.Instance, cfg Config, theta int) 
 // size (version 7): more threads mean fewer tiles per step but a longer
 // reduction and lower occupancy headroom.
 func AblationDataBlock(dev *cuda.Device, cfg Config, sizes []int) (*Table, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	instances, err := loadAll(cfg.Instances)
 	if err != nil {
@@ -94,6 +98,7 @@ func AblationDataBlock(dev *cuda.Device, cfg Config, sizes []int) (*Table, error
 		}
 		t.AddRow(fmt.Sprintf("block = %d threads", size), vals)
 	}
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }
 
@@ -101,6 +106,7 @@ func AblationDataBlock(dev *cuda.Device, cfg Config, sizes []int) (*Table, error
 // construction (version 5): the paper uses nn = 30 and cites 15–40 as the
 // useful range. Short lists mean cheaper steps but more fall-back scans.
 func AblationNN(dev *cuda.Device, cfg Config, nns []int) (*Table, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	instances, err := loadAll(cfg.Instances)
 	if err != nil {
@@ -130,5 +136,6 @@ func AblationNN(dev *cuda.Device, cfg Config, nns []int) (*Table, error) {
 		}
 		t.AddRow(fmt.Sprintf("nn = %d", nn), vals)
 	}
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }

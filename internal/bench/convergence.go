@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
@@ -14,6 +15,7 @@ import (
 // Columns are iteration checkpoints; values are best/greedy ratios, so the
 // rows of different algorithms are directly comparable.
 func ConvergenceSeries(dev *cuda.Device, instName string, checkpoints []int) (*Table, error) {
+	start := time.Now()
 	in, err := tsp.LoadBenchmark(instName)
 	if err != nil {
 		return nil, err
@@ -113,5 +115,6 @@ func ConvergenceSeries(dev *cuda.Device, instName string, checkpoints []int) (*T
 		return nil, err
 	}
 
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }

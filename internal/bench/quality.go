@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
@@ -16,6 +17,7 @@ import (
 // and reports each best tour as a ratio to the greedy nearest-neighbour
 // tour (lower is better; < 1 beats greedy).
 func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	if iterations <= 0 {
 		iterations = 30
@@ -133,5 +135,6 @@ func QualityTable(dev *cuda.Device, cfg Config, iterations int) (*Table, error) 
 		}
 		t.AddRow(c.name, vals)
 	}
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
@@ -76,6 +77,7 @@ func loadAll(names []string) ([]*tsp.Instance, error) {
 // tour-construction versions on one device, plus the total-speed-up row
 // (version 1 over version 8).
 func TableII(dev *cuda.Device, cfg Config) (*Table, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	instances, err := loadAll(cfg.Instances)
 	if err != nil {
@@ -110,6 +112,7 @@ func TableII(dev *cuda.Device, cfg Config) (*Table, error) {
 		speedup[i] = times[core.TourBaseline][i] / times[core.TourDataParallelTexture][i]
 	}
 	t.AddRow("Total speed-up attained", speedup)
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }
 
@@ -117,6 +120,7 @@ func TableII(dev *cuda.Device, cfg Config) (*Table, error) {
 // M2050), depending on the device: execution times of the five pheromone-
 // update versions plus the total-slow-down row (version 5 over version 1).
 func TablePheromone(dev *cuda.Device, cfg Config) (*Table, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	instances, err := loadAll(cfg.Instances)
 	if err != nil {
@@ -169,6 +173,7 @@ func TablePheromone(dev *cuda.Device, cfg Config) (*Table, error) {
 		slow[i] = times[core.PherScatterGather][i] / times[core.PherAtomicShared][i]
 	}
 	t.AddRow("Total slow-down incurred", slow)
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }
 
@@ -307,6 +312,7 @@ func figureSpeedup(devices []*cuda.Device, cfg Config, title string,
 	cpu func(*tsp.Instance) (float64, error),
 	gpu func(*cuda.Device, *tsp.Instance) (float64, error)) (*Table, error) {
 
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	instances, err := loadAll(cfg.Instances)
 	if err != nil {
@@ -335,5 +341,6 @@ func figureSpeedup(devices []*cuda.Device, cfg Config, title string,
 		}
 		t.AddRow("Speed-up "+dev.Name, vals)
 	}
+	t.HostSeconds = time.Since(start).Seconds()
 	return t, nil
 }

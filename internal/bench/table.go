@@ -18,6 +18,10 @@ type Table struct {
 	Unit      string
 	Instances []string
 	Rows      []Row
+	// HostSeconds is the host wall-clock spent producing the table — the
+	// cost of running the simulator itself, reported alongside the
+	// simulated milliseconds the cells contain.
+	HostSeconds float64
 }
 
 // Row is one line of a Table.
@@ -82,6 +86,9 @@ func (t *Table) Format(w io.Writer) {
 			fmt.Fprintf(w, "  %*s", colW[i], cell(v))
 		}
 		fmt.Fprintln(w)
+	}
+	if t.HostSeconds > 0 {
+		fmt.Fprintf(w, "host wall-clock: %.3f s\n", t.HostSeconds)
 	}
 }
 

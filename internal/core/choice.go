@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"antgpu/internal/cuda"
 	"antgpu/internal/rng"
@@ -29,6 +30,44 @@ func (e *Engine) ChoiceKernel() (*cuda.LaunchResult, error) {
 		LatencyOverlap: 4,
 	}
 	return e.launch(cfg, "choice", int64(choiceBlock*3), func(b *cuda.Block) {
+		if e.Vector {
+			// Vector fast path: one warp instruction per access row. A cell
+			// gid is diagonal iff gid % (n+1) == 0 (gid = i*(n+1)), so the
+			// diagonal lanes split off as a store mask and the rest follow
+			// the scalar path's load/compute/store row. The warp issue
+			// charge is the scalar per-lane maximum: the full product cost
+			// if any off-diagonal lane is live, else the compare.
+			b.RunWarps(func(w *cuda.Warp) {
+				gbase := b.LinearIdx()*b.Threads() + w.Base()
+				live := w.MaskTo(cells - gbase)
+				if live == 0 {
+					return
+				}
+				var diag uint32
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					if (gbase+l)%(n+1) == 0 {
+						diag |= 1 << uint(l)
+					}
+				}
+				norm := live &^ diag
+				var zero, tau, d, out [32]float32
+				w.StF32Masked(e.choice, gbase, diag, zero[:])
+				w.LdF32Masked(e.pher, gbase, norm, tau[:])
+				w.LdF32Masked(e.dist, gbase, norm, d[:])
+				for mk := norm; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					out[l] = powF32(tau[l], alpha) * powF32(heuristicF32(d[l]), beta)
+				}
+				if norm != 0 {
+					w.Charge(2*chargePow + chargeDiv + chargeMulAdd + chargeIndex)
+				} else {
+					w.Charge(chargeCompare)
+				}
+				w.StF32Masked(e.choice, gbase, norm, out[:])
+			})
+			return
+		}
 		b.Run(func(t *cuda.Thread) {
 			gid := t.GlobalID()
 			if gid >= cells {
@@ -77,6 +116,24 @@ func (e *Engine) FillRandoms() (*cuda.LaunchResult, error) {
 		LatencyOverlap: 4,
 	}
 	return e.launch(cfg, "rngfill", int64(choiceBlock), func(b *cuda.Block) {
+		if e.Vector {
+			b.RunWarps(func(w *cuda.Warp) {
+				gbase := b.LinearIdx()*b.Threads() + w.Base()
+				live := w.MaskTo(total - gbase)
+				if live == 0 {
+					return
+				}
+				var vals [32]float32
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					g := rng.Seed(seed, uint64(gbase+l))
+					vals[l] = g.Float32()
+				}
+				w.Charge(rng.DeviceLCGCharge + 4) // seeding scramble + draw
+				w.StF32Masked(e.randoms, gbase, live, vals[:])
+			})
+			return
+		}
 		b.Run(func(t *cuda.Thread) {
 			gid := t.GlobalID()
 			if gid >= total {

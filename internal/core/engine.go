@@ -68,6 +68,19 @@ type Engine struct {
 	// sampling: every block runs.
 	SampleBudget int64
 
+	// Vector selects the warp-vector fast path (cuda.Block.RunWarps with
+	// analytic per-warp metering) for the kernels that have been ported;
+	// the per-thread scalar path remains in every kernel as the reference
+	// implementation. The two paths produce byte-identical buffers and
+	// identical meters (see vector_equiv_test.go), so Vector changes only
+	// host-side simulation speed and defaults to on.
+	Vector bool
+
+	// ForceSerial forces SerialBlocks on every launch regardless of the
+	// kernel's own setting. The equivalence tests use it to pin the
+	// cross-block execution order while comparing the two paths.
+	ForceSerial bool
+
 	// Tracer, when non-nil, records every kernel launch and algorithm
 	// phase on a simulated timeline (set it with SetTracer so the device
 	// observer hook is installed too).
@@ -130,6 +143,7 @@ func NewEngineWithOptions(dev *cuda.Device, in *tsp.Instance, p aco.Params, opt 
 		nn:          p.NN,
 		theta:       opt.TileTheta,
 		dataThreads: opt.DataBlockThreads,
+		Vector:      true,
 	}
 	if e.theta == 0 {
 		e.theta = PherTileTheta
@@ -342,6 +356,9 @@ func (e *Engine) launch(cfg cuda.LaunchConfig, name string, opsPerBlock int64, k
 	if e.SampleBudget > 0 && cfg.SampleStride == 0 {
 		cfg.SampleBudget = e.SampleBudget
 		cfg.LaneOpsPerBlockHint = opsPerBlock
+	}
+	if e.ForceSerial {
+		cfg.SerialBlocks = true
 	}
 	return cuda.Launch(e.Dev, cfg, name, k)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"antgpu/internal/cuda"
 )
@@ -22,6 +23,24 @@ func (e *Engine) EvaporateKernel() (*cuda.LaunchResult, error) {
 		LatencyOverlap: 4,
 	}
 	return e.launch(cfg, "evaporate", choiceBlock*2, func(b *cuda.Block) {
+		if e.Vector {
+			b.RunWarps(func(w *cuda.Warp) {
+				gbase := b.LinearIdx()*b.Threads() + w.Base()
+				live := w.MaskTo(cells - gbase)
+				if live == 0 {
+					return
+				}
+				var v [32]float32
+				w.LdF32Masked(e.pher, gbase, live, v[:])
+				w.Charge(chargeMulAdd)
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					v[l] *= factor
+				}
+				w.StF32Masked(e.pher, gbase, live, v[:])
+			})
+			return
+		}
 		b.Run(func(t *cuda.Thread) {
 			gid := t.GlobalID()
 			if gid >= cells {
@@ -75,15 +94,57 @@ func (e *Engine) depositAtomic(staged bool) (*cuda.LaunchResult, error) {
 			if boundary > n {
 				boundary = n
 			}
-			b.Run(func(t *cuda.Thread) {
-				// Cooperative, coalesced stage of the tour tile; thread 0
-				// also fetches the boundary entry.
-				t.StShI32(tile, t.ID(), t.LdI32(e.tours, base+t.ID()))
-				if t.ID() == 0 {
-					t.StShI32(tile, threads, t.LdI32(e.tours, ant*e.tourPad+boundary))
-				}
-			})
+			if e.Vector {
+				b.RunWarps(func(w *cuda.Warp) {
+					var tmp, one [32]int32
+					w.LdI32Row(e.tours, base+w.Base(), tmp[:])
+					w.StShI32Row(tile, w.Base(), tmp[:])
+					if w.ID() == 0 {
+						w.LdI32Masked(e.tours, ant*e.tourPad+boundary, 1, one[:])
+						w.StShI32Masked(tile, threads, 1, one[:])
+					}
+				})
+			} else {
+				b.Run(func(t *cuda.Thread) {
+					// Cooperative, coalesced stage of the tour tile; thread 0
+					// also fetches the boundary entry.
+					t.StShI32(tile, t.ID(), t.LdI32(e.tours, base+t.ID()))
+					if t.ID() == 0 {
+						t.StShI32(tile, threads, t.LdI32(e.tours, ant*e.tourPad+boundary))
+					}
+				})
+			}
 			b.Sync()
+		}
+		if e.Vector {
+			b.RunWarps(func(w *cuda.Warp) {
+				mask := w.MaskTo(n - chunk*threads - w.Base())
+				if mask == 0 {
+					return
+				}
+				var aV, cV [32]int32
+				if staged {
+					w.LdShI32Masked(tile, w.Base(), mask, aV[:])
+					w.LdShI32Masked(tile, w.Base()+1, mask, cV[:])
+				} else {
+					w.LdI32Masked(e.tours, base+w.Base(), mask, aV[:])
+					w.LdI32Masked(e.tours, base+w.Base()+1, mask, cV[:])
+				}
+				l := w.LdF32BcastMasked(e.lengths, ant, mask)
+				delta := 1 / l
+				w.Charge(chargeDiv + 2*chargeIndex)
+				var fwd, rev [32]int32
+				var dl [32]float32
+				for mk := mask; mk != 0; mk &= mk - 1 {
+					ln := bits.TrailingZeros32(mk)
+					fwd[ln] = aV[ln]*int32(n) + cV[ln]
+					rev[ln] = cV[ln]*int32(n) + aV[ln]
+					dl[ln] = delta
+				}
+				w.AtomicAddF32Scatter(e.pher, fwd[:], mask, dl[:])
+				w.AtomicAddF32Scatter(e.pher, rev[:], mask, dl[:])
+			})
+			return
 		}
 		b.Run(func(t *cuda.Thread) {
 			edge := chunk*threads + t.ID()
@@ -181,29 +242,69 @@ func (e *Engine) pherScatterGather(v PherVersion) (*cuda.LaunchResult, error) {
 		cj := make([]int32, threads) // cell column
 		acc := make([]float32, threads)
 
-		b.Run(func(t *cuda.Thread) {
-			cell := b.LinearIdx()*threads + t.ID()
-			if cell >= plan.cells {
-				ci[t.ID()] = -1
-				return
-			}
-			var i, j int
-			if plan.symmetric {
-				i, j = upperTriangle(cell, n)
-				t.Charge(8) // index de-linearisation (sqrt etc.)
-			} else {
-				i, j = cell/n, cell%n
-				t.Charge(chargeIndex)
-			}
-			ci[t.ID()], cj[t.ID()] = int32(i), int32(j)
-			acc[t.ID()] = 0
-			// Evaporation, folded into the per-cell thread as the paper
-			// describes ("each cell is independently updated by each thread
-			// doing both the pheromone evaporation and the deposit").
-			v := t.LdF32(e.pher, i*n+j)
-			t.Charge(chargeMulAdd)
-			acc[t.ID()] = v * factor
-		})
+		if e.Vector {
+			b.RunWarps(func(w *cuda.Warp) {
+				cellBase := b.LinearIdx()*threads + w.Base()
+				live := w.MaskTo(plan.cells - cellBase)
+				for l := 0; l < w.Active(); l++ {
+					if live&(1<<uint(l)) == 0 {
+						ci[w.Base()+l] = -1
+					}
+				}
+				if live == 0 {
+					return
+				}
+				var addrs [32]int32
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					cell := cellBase + l
+					var i, j int
+					if plan.symmetric {
+						i, j = upperTriangle(cell, n)
+					} else {
+						i, j = cell/n, cell%n
+					}
+					ci[w.Base()+l], cj[w.Base()+l] = int32(i), int32(j)
+					addrs[l] = int32(i*n + j)
+				}
+				if plan.symmetric {
+					w.Charge(8) // index de-linearisation (sqrt etc.)
+				} else {
+					w.Charge(chargeIndex)
+				}
+				var v [32]float32
+				w.LdF32Gather(e.pher, addrs[:], live, v[:])
+				w.Charge(chargeMulAdd)
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					acc[w.Base()+l] = v[l] * factor
+				}
+			})
+		} else {
+			b.Run(func(t *cuda.Thread) {
+				cell := b.LinearIdx()*threads + t.ID()
+				if cell >= plan.cells {
+					ci[t.ID()] = -1
+					return
+				}
+				var i, j int
+				if plan.symmetric {
+					i, j = upperTriangle(cell, n)
+					t.Charge(8) // index de-linearisation (sqrt etc.)
+				} else {
+					i, j = cell/n, cell%n
+					t.Charge(chargeIndex)
+				}
+				ci[t.ID()], cj[t.ID()] = int32(i), int32(j)
+				acc[t.ID()] = 0
+				// Evaporation, folded into the per-cell thread as the paper
+				// describes ("each cell is independently updated by each thread
+				// doing both the pheromone evaporation and the deposit").
+				v := t.LdF32(e.pher, i*n+j)
+				t.Charge(chargeMulAdd)
+				acc[t.ID()] = v * factor
+			})
+		}
 
 		var tile []int32
 		if plan.tiled {
@@ -225,56 +326,155 @@ func (e *Engine) pherScatterGather(v PherVersion) (*cuda.LaunchResult, error) {
 					if boundary > n {
 						boundary = n
 					}
-					b.Run(func(t *cuda.Thread) {
-						t.StShI32(tile, t.ID(), t.LdI32(e.tours, base+t.ID()))
-						if t.ID() == 0 {
-							t.StShI32(tile, threads, t.LdI32(e.tours, ant*e.tourPad+boundary))
-						}
-					})
+					if e.Vector {
+						b.RunWarps(func(w *cuda.Warp) {
+							var tmp, one [32]int32
+							w.LdI32Row(e.tours, base+w.Base(), tmp[:])
+							w.StShI32Row(tile, w.Base(), tmp[:])
+							if w.ID() == 0 {
+								w.LdI32Masked(e.tours, ant*e.tourPad+boundary, 1, one[:])
+								w.StShI32Masked(tile, threads, 1, one[:])
+							}
+						})
+					} else {
+						b.Run(func(t *cuda.Thread) {
+							t.StShI32(tile, t.ID(), t.LdI32(e.tours, base+t.ID()))
+							if t.ID() == 0 {
+								t.StShI32(tile, threads, t.LdI32(e.tours, ant*e.tourPad+boundary))
+							}
+						})
+					}
 					b.Sync()
 				}
-				b.Run(func(t *cuda.Thread) {
-					if ci[t.ID()] < 0 {
-						return
-					}
-					i, j := ci[t.ID()], cj[t.ID()]
-					d := t.LdF32(e.lengths, ant)
-					delta := 1 / d
-					t.Charge(chargeDiv)
-					hits := 0
-					for p := 0; p < limit; p++ {
-						var a, c int32
-						if plan.tiled {
-							a = t.LdShI32(tile, p)
-							c = t.LdShI32(tile, p+1)
-						} else {
-							a = t.LdI32(e.tours, base+p)
-							c = t.LdI32(e.tours, base+p+1)
+				if e.Vector {
+					b.RunWarps(func(w *cuda.Warp) {
+						cellBase := b.LinearIdx()*threads + w.Base()
+						live := w.MaskTo(plan.cells - cellBase)
+						if live == 0 {
+							return
 						}
-						t.Charge(chargeScanEntry)
-						if (a == i && c == j) || (a == j && c == i) {
-							hits++
+						d := w.LdF32BcastMasked(e.lengths, ant, live)
+						delta := 1 / d
+						w.Charge(chargeDiv)
+						// Every live lane scans the same tour entries, so
+						// instead of comparing each entry against every
+						// lane's cell, invert: an edge (a, c) hits exactly
+						// the lane owning that cell, found in O(1) from the
+						// cell enumeration. The accumulation (hits counted
+						// per chunk, folded as float32(hits)*delta) is
+						// unchanged, so the result is bit-identical.
+						var hits [32]int32
+						mark := func(cell int) {
+							if l := cell - cellBase; l >= 0 && l < 32 && live&(1<<uint(l)) != 0 {
+								hits[l]++
+							}
 						}
-					}
-					acc[t.ID()] += float32(hits) * delta
-					t.Charge(chargeMulAdd)
-				})
+						for p := 0; p < limit; p++ {
+							var a, c int32
+							if plan.tiled {
+								a = w.LdShI32BcastMasked(tile, p, live)
+								c = w.LdShI32BcastMasked(tile, p+1, live)
+							} else {
+								a = w.LdI32BcastMasked(e.tours, base+p, live)
+								c = w.LdI32BcastMasked(e.tours, base+p+1, live)
+							}
+							w.Charge(chargeScanEntry)
+							if plan.symmetric {
+								i, j := int(a), int(c)
+								if i > j {
+									i, j = j, i
+								}
+								mark(i*n - i*(i-1)/2 + (j - i))
+							} else {
+								mark(int(a)*n + int(c))
+								if a != c {
+									mark(int(c)*n + int(a))
+								}
+							}
+						}
+						w.Charge(chargeMulAdd)
+						for mk := live; mk != 0; mk &= mk - 1 {
+							l := bits.TrailingZeros32(mk)
+							acc[w.Base()+l] += float32(hits[l]) * delta
+						}
+					})
+				} else {
+					b.Run(func(t *cuda.Thread) {
+						if ci[t.ID()] < 0 {
+							return
+						}
+						i, j := ci[t.ID()], cj[t.ID()]
+						d := t.LdF32(e.lengths, ant)
+						delta := 1 / d
+						t.Charge(chargeDiv)
+						hits := 0
+						for p := 0; p < limit; p++ {
+							var a, c int32
+							if plan.tiled {
+								a = t.LdShI32(tile, p)
+								c = t.LdShI32(tile, p+1)
+							} else {
+								a = t.LdI32(e.tours, base+p)
+								c = t.LdI32(e.tours, base+p+1)
+							}
+							t.Charge(chargeScanEntry)
+							if (a == i && c == j) || (a == j && c == i) {
+								hits++
+							}
+						}
+						acc[t.ID()] += float32(hits) * delta
+						t.Charge(chargeMulAdd)
+					})
+				}
 				if plan.tiled {
 					b.Sync()
 				}
 			}
 		}
 
-		b.Run(func(t *cuda.Thread) {
-			if ci[t.ID()] < 0 {
-				return
-			}
-			i, j := int(ci[t.ID()]), int(cj[t.ID()])
-			t.StF32(e.pher, i*n+j, acc[t.ID()])
-			if plan.symmetric && i != j {
-				t.StF32(e.pher, j*n+i, acc[t.ID()])
-			}
-		})
+		if e.Vector {
+			b.RunWarps(func(w *cuda.Warp) {
+				cellBase := b.LinearIdx()*threads + w.Base()
+				live := w.MaskTo(plan.cells - cellBase)
+				if live == 0 {
+					return
+				}
+				var out [32]float32
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					out[l] = acc[w.Base()+l]
+				}
+				if !plan.symmetric {
+					// Cell addresses are the linear cells themselves: a row.
+					w.StF32Masked(e.pher, cellBase, live, out[:])
+					return
+				}
+				var up, lo [32]int32
+				var loMask uint32
+				for mk := live; mk != 0; mk &= mk - 1 {
+					l := bits.TrailingZeros32(mk)
+					i, j := int(ci[w.Base()+l]), int(cj[w.Base()+l])
+					up[l] = int32(i*n + j)
+					if i != j {
+						lo[l] = int32(j*n + i)
+						loMask |= 1 << uint(l)
+					}
+				}
+				w.StF32Scatter(e.pher, up[:], live, out[:])
+				w.StF32Scatter(e.pher, lo[:], loMask, out[:])
+			})
+		} else {
+			b.Run(func(t *cuda.Thread) {
+				if ci[t.ID()] < 0 {
+					return
+				}
+				i, j := int(ci[t.ID()]), int(cj[t.ID()])
+				t.StF32(e.pher, i*n+j, acc[t.ID()])
+				if plan.symmetric && i != j {
+					t.StF32(e.pher, j*n+i, acc[t.ID()])
+				}
+			})
+		}
 	}
 
 	res, err := e.launch(cfg, fmt.Sprintf("pher-scatter-v%d", int(plan.version)), perBlockOps, kernel)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"antgpu/internal/cuda"
 	"antgpu/internal/rng"
@@ -57,6 +58,212 @@ func (e *Engine) tourDataParallel(v TourVersion) (*cuda.LaunchResult, error) {
 		Block:         cuda.D1(threads),
 		SharedBytes:   sharedBytes,
 		RegsPerThread: 20,
+	}
+
+	// vectorKernel is the warp-granular twin of the scalar kernel below. The
+	// phase and Sync structure is identical line for line; every warp op
+	// documents which scalar access row it replaces. threads is a power of
+	// two >= 32, so all warps are full and tile in-lanes form a prefix mask.
+	vectorKernel := func(b *cuda.Block) {
+		ant := b.LinearIdx()
+
+		vals := b.SharedF32(threads)
+		idxs := b.SharedI32(threads)
+		tileBestV := b.SharedF32(tiles)
+		tileBestI := b.SharedI32(tiles)
+		nextSh := b.SharedI32(1)
+
+		tabu := make([]int32, threads)
+		states := make([]uint64, threads)
+		cur := 0
+		lenAcc := float32(0)
+
+		// --- init: seed RNG, mark everything unvisited, place the ant ---
+		b.RunWarps(func(w *cuda.Warp) {
+			for l := 0; l < w.Active(); l++ {
+				tid := w.Base() + l
+				states[tid] = rng.Seed(seed, uint64(ant)<<16|uint64(tid)).State()
+				tabu[tid] = -1
+			}
+			if w.ID() != 0 {
+				w.Charge(3)
+				return
+			}
+			r := rng.NextF32Raw(states, 0)
+			c := int32(r * float32(n))
+			if c >= int32(n) {
+				c = int32(n) - 1
+			}
+			// Lane 0 is the slowest lane: 3 (init) + LCG draw + 3 (placement).
+			w.Charge(3 + rng.DeviceLCGCharge + 3)
+			one := [1]int32{c}
+			w.StShI32Masked(nextSh, 0, 1, one[:])
+			w.StI32Masked(e.tours, ant*e.tourPad+0, 1, one[:])
+		})
+		b.Sync()
+		b.RunWarps(func(w *cuda.Warp) {
+			c := int(w.LdShI32Bcast(nextSh, 0))
+			target := c % threads
+			if target >= w.Base() && target < w.Base()+w.Active() {
+				tabu[target] &^= 1 << uint(c/threads)
+				w.Charge(chargeBitTabu + chargeCompare)
+			} else {
+				w.Charge(chargeCompare)
+			}
+			if w.ID() == 0 {
+				cur = c
+			}
+		})
+		b.Sync()
+
+		// --- construction steps ------------------------------------------
+		for step := 1; step < n; step++ {
+			for tile := 0; tile < tiles; tile++ {
+				tile := tile
+				// Tile phase: value = choice * random * tabu-bit. In-lanes
+				// (j < n) issue the choice load then two shared stores;
+				// out-lanes issue their two shared stores one position
+				// earlier, so the middle position merges in-lane vals[] and
+				// out-lane idxs[] stores into one instruction (the scalar
+				// path's positional retirement does the same merge).
+				b.RunWarps(func(w *cuda.Warp) {
+					jbase := tile*threads + w.Base()
+					inMask := w.MaskTo(n - jbase)
+					outMask := w.Mask() &^ inMask
+					var wv, valsV [32]float32
+					var idxV [32]int32
+					if inMask != 0 {
+						if choiceTex != nil {
+							w.TexF32Masked(choiceTex, cur*n+jbase, inMask, wv[:])
+						} else {
+							w.LdF32Masked(e.choice, cur*n+jbase, inMask, wv[:])
+						}
+					}
+					for l := 0; l < w.Active(); l++ {
+						tid := w.Base() + l
+						if inMask&(1<<uint(l)) != 0 {
+							r := rng.NextF32Raw(states, tid) + 1e-6
+							tb := float32((tabu[tid] >> uint(tile)) & 1)
+							valsV[l] = wv[l] * r * tb
+						} else {
+							valsV[l] = -1
+						}
+						idxV[l] = int32(jbase + l)
+					}
+					if inMask != 0 {
+						w.Charge(rng.DeviceLCGCharge + 2*chargeMulAdd + chargeBitTabu + chargeIndex)
+					}
+					w.StShF32Masked(vals, w.Base(), outMask, valsV[:])
+					w.StShF32I32Row(vals, valsV[:], inMask, idxs, idxV[:], outMask, w.Base())
+					w.StShI32Masked(idxs, w.Base(), inMask, idxV[:])
+				})
+				b.Sync()
+				// Shared-memory max-reduction for the tile winner.
+				for s := threads / 2; s > 0; s /= 2 {
+					s := s
+					b.RunWarps(func(w *cuda.Warp) {
+						part := w.MaskTo(s - w.Base())
+						if part == 0 {
+							return
+						}
+						var aV, cV [32]float32
+						var iV [32]int32
+						w.LdShF32Masked(vals, w.Base(), part, aV[:])
+						w.LdShF32Masked(vals, w.Base()+s, part, cV[:])
+						w.Charge(chargeCompare)
+						var imp uint32
+						for mk := part; mk != 0; mk &= mk - 1 {
+							l := bits.TrailingZeros32(mk)
+							if cV[l] > aV[l] {
+								imp |= 1 << uint(l)
+							}
+						}
+						w.StShF32Masked(vals, w.Base(), imp, cV[:])
+						w.LdShI32Masked(idxs, w.Base()+s, imp, iV[:])
+						w.StShI32Masked(idxs, w.Base(), imp, iV[:])
+					})
+					b.Sync()
+				}
+				b.RunWarps(func(w *cuda.Warp) {
+					if w.ID() != 0 {
+						return
+					}
+					vArr := [1]float32{w.LdShF32BcastMasked(vals, 0, 1)}
+					w.StShF32Masked(tileBestV, tile, 1, vArr[:])
+					iArr := [1]int32{w.LdShI32BcastMasked(idxs, 0, 1)}
+					w.StShI32Masked(tileBestI, tile, 1, iArr[:])
+				})
+				b.Sync()
+			}
+			// Winner among the tile winners, then bookkeeping. Lane 0's
+			// improving branch issues an extra tileBestI load, so the shared
+			// instruction sequence is data-dependent exactly as in the
+			// scalar path.
+			b.RunWarps(func(w *cuda.Warp) {
+				if w.ID() != 0 {
+					return
+				}
+				bestV := float32(-1)
+				best := int32(-1)
+				for tl := 0; tl < tiles; tl++ {
+					v := w.LdShF32BcastMasked(tileBestV, tl, 1)
+					if v > bestV {
+						bestV = v
+						best = w.LdShI32BcastMasked(tileBestI, tl, 1)
+					}
+				}
+				w.Charge(float64(tiles) * chargeCompare)
+				if best < 0 {
+					b.Failf("data-parallel selection found no city for ant %d at step %d", ant, step)
+				}
+				bArr := [1]int32{best}
+				w.StShI32Masked(nextSh, 0, 1, bArr[:])
+			})
+			b.Sync()
+			b.RunWarps(func(w *cuda.Warp) {
+				next := int(w.LdShI32Bcast(nextSh, 0))
+				target := next % threads
+				charge := float64(chargeCompare)
+				if target >= w.Base() && target < w.Base()+w.Active() {
+					tabu[target] &^= 1 << uint(next/threads)
+					if c := float64(chargeCompare + chargeBitTabu); c > charge {
+						charge = c
+					}
+				}
+				if w.ID() == 0 {
+					c := float64(chargeCompare + chargeMulAdd)
+					if target == 0 {
+						c += chargeBitTabu
+					}
+					if c > charge {
+						charge = c
+					}
+					d := w.LdF32BcastMasked(e.dist, cur*n+next, 1)
+					lenAcc += d
+					cur = next
+					nArr := [1]int32{int32(next)}
+					w.StI32Masked(e.tours, ant*e.tourPad+step, 1, nArr[:])
+				}
+				w.Charge(charge)
+			})
+			b.Sync()
+		}
+
+		// --- finish -------------------------------------------------------
+		b.RunWarps(func(w *cuda.Warp) {
+			if w.ID() != 0 {
+				return
+			}
+			first := w.LdI32BcastMasked(e.tours, ant*e.tourPad+0, 1)
+			lenAcc += w.LdF32BcastMasked(e.dist, cur*n+int(first), 1)
+			fArr := [1]int32{first}
+			for p := n; p < e.tourPad; p++ {
+				w.StI32Masked(e.tours, ant*e.tourPad+p, 1, fArr[:])
+			}
+			lArr := [1]float32{lenAcc}
+			w.StF32Masked(e.lengths, ant, 1, lArr[:])
+			w.Charge(4)
+		})
 	}
 
 	kernel := func(b *cuda.Block) {
@@ -208,5 +415,8 @@ func (e *Engine) tourDataParallel(v TourVersion) (*cuda.LaunchResult, error) {
 		})
 	}
 
+	if e.Vector {
+		kernel = vectorKernel
+	}
 	return e.launch(cfg, fmt.Sprintf("tour-data-v%d", int(v)), per, kernel)
 }

@@ -1,6 +1,9 @@
 package cuda
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kernel is the body of a simulated GPU kernel. It is invoked once per
 // thread block with a *Block handle. Kernel bodies alternate per-thread
@@ -76,37 +79,98 @@ type Block struct {
 	// Per-warp divergence charges added via Thread.Diverge.
 	divergeExtra float64
 
-	// Texture tag caches, one per texture bound during this block.
+	// Texture tag caches, one per texture bound on this block object. The
+	// map and its texTags persist across blocks and launches (the Block is
+	// pooled); texUsed tracks which caches the current block actually
+	// touched so reset invalidates only those instead of re-allocating.
 	texCaches map[bufferID]*texTags
+	texUsed   []*texTags
 
-	// Atomic address histogram for cross-block conflict accounting.
-	atomicAddrs map[uint64]int32
+	// stats is the owning worker's cross-block atomic histogram; every
+	// atomic op notes its address here directly (see statTable.note). Set
+	// by the launch loop before the block runs.
+	stats *statTable
+
+	// maxStream is the high-water per-lane stream length over this block
+	// object's lifetime; putBlock feeds it back to the device so the next
+	// launch sizes fresh streams to fit without regrowth.
+	maxStream int
 
 	// scratch for warp retirement
 	segScratch  []int64
 	bankScratch [64]int16
 }
 
-func newBlock(dev *Device, cfg *LaunchConfig) *Block {
+// minStreamCap is the smallest initial per-lane stream capacity.
+const minStreamCap = 64
+
+// blockPool recycles Block objects (with their stream, histogram and
+// texture-tag storage) across launches. One launch runs thousands of blocks
+// through a handful of pooled objects, so steady state allocates nothing
+// per block.
+var blockPool sync.Pool
+
+func getBlock(dev *Device, cfg *LaunchConfig) *Block {
+	b, _ := blockPool.Get().(*Block)
+	if b == nil {
+		b = &Block{
+			meter:     &Meter{},
+			texCaches: map[bufferID]*texTags{},
+		}
+	}
+	b.init(dev, cfg)
+	return b
+}
+
+func putBlock(b *Block) {
+	b.dev.noteStreamHighWater(b.maxStream)
+	b.cfg = nil
+	b.stats = nil // worker-scoped; never outlives the launch
+	if len(b.texCaches) > 16 {
+		// One launch binding many textures should not pin tag arrays for
+		// every buffer id it ever saw.
+		b.texCaches = map[bufferID]*texTags{}
+		b.texUsed = b.texUsed[:0]
+	}
+	blockPool.Put(b)
+}
+
+// init prepares a fresh or pooled Block for a launch.
+func (b *Block) init(dev *Device, cfg *LaunchConfig) {
 	ws := dev.WarpSize
-	b := &Block{
-		dev:         dev,
-		cfg:         cfg,
-		dim:         cfg.Block,
-		threads:     cfg.Threads(),
-		meter:       &Meter{},
-		sharedLimit: dev.SharedMemPerBlock(),
-		streams:     make([][]rec, ws),
-		laneCharge:  make([]float64, ws),
-		laneActive:  make([]bool, ws),
-		texCaches:   map[bufferID]*texTags{},
-		atomicAddrs: map[uint64]int32{},
+	b.dev = dev
+	b.cfg = cfg
+	b.dim = cfg.Block
+	b.threads = cfg.Threads()
+	b.warps = (b.threads + ws - 1) / ws
+	b.sharedLimit = dev.SharedMemPerBlock()
+	b.maxStream = 0
+	if cap(b.streams) >= ws {
+		b.streams = b.streams[:ws]
+		b.laneCharge = b.laneCharge[:ws]
+		b.laneActive = b.laneActive[:ws]
+	} else {
+		b.streams = make([][]rec, ws)
+		b.laneCharge = make([]float64, ws)
+		b.laneActive = make([]bool, ws)
+	}
+	// Size fresh lane streams from the device's high-water hint: launches
+	// after the first start at the observed per-phase depth instead of
+	// regrowing from a fixed small capacity on every block.
+	hint := int(dev.streamHint.Load())
+	if hint < minStreamCap {
+		hint = minStreamCap
+	}
+	if hint > maxStreamLen {
+		hint = maxStreamLen
 	}
 	for i := range b.streams {
-		b.streams[i] = make([]rec, 0, 256)
+		if cap(b.streams[i]) < hint {
+			b.streams[i] = make([]rec, 0, hint)
+		} else {
+			b.streams[i] = b.streams[i][:0]
+		}
 	}
-	b.warps = (b.threads + ws - 1) / ws
-	return b
 }
 
 // reset prepares the block object for reuse with a new block index.
@@ -117,12 +181,33 @@ func (b *Block) reset(linear int) {
 	b.sharedUsed = 0
 	b.divergeExtra = 0
 	*b.meter = Meter{}
-	for k := range b.texCaches {
-		delete(b.texCaches, k)
+	for _, tc := range b.texUsed {
+		tc.reset()
+		tc.inUse = false
 	}
-	for k := range b.atomicAddrs {
-		delete(b.atomicAddrs, k)
+	b.texUsed = b.texUsed[:0]
+}
+
+// noteAtomic records one atomic operation on the packed address key in the
+// worker's cross-block histogram.
+func (b *Block) noteAtomic(key uint64) {
+	b.stats.note(key, int32(b.linear))
+}
+
+// texCache returns the (reset) texture tag cache for a buffer, creating or
+// resizing it if the pooled block last ran on a device with a different
+// cache geometry.
+func (b *Block) texCache(id bufferID) *texTags {
+	tc := b.texCaches[id]
+	if tc == nil || len(tc.tags) != texLines(b.dev) {
+		tc = newTexTags(b.dev)
+		b.texCaches[id] = tc
 	}
+	if !tc.inUse {
+		tc.inUse = true
+		b.texUsed = append(b.texUsed, tc)
+	}
+	return tc
 }
 
 // Idx returns the block index within the grid (blockIdx).
@@ -241,6 +326,9 @@ func (b *Block) retireWarp(activeLanes int) {
 		if l := len(b.streams[lane]); l > maxLen {
 			maxLen = l
 		}
+	}
+	if maxLen > b.maxStream {
+		b.maxStream = maxLen
 	}
 	m.ComputeIssues += maxCharge
 	m.DivergentExtra += b.divergeExtra
@@ -470,11 +558,7 @@ func (b *Block) atomicConflicts(pos int, kind uint8, buf bufferID) int {
 // cache line touched at this position. Hits cost texture-cache latency;
 // misses fetch a line and count as global transactions.
 func (b *Block) retireTexture(pos int, buf bufferID) {
-	tc := b.texCaches[buf]
-	if tc == nil {
-		tc = newTexTags(b.dev)
-		b.texCaches[buf] = tc
-	}
+	tc := b.texCache(buf)
 	m := b.meter
 	lineBytes := int64(b.dev.TextureLineBytes)
 	ws := b.dev.WarpSize

@@ -3,6 +3,7 @@ package cuda
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Device describes the simulated GPU. The fields mirror Table I of the
@@ -92,6 +93,35 @@ type Device struct {
 	allocBytes int64
 	sticky     error
 	eccTargets []eccTarget
+
+	// streamHint caches the high-water per-lane stream length observed on
+	// this device's launches (rounded up to a power of two), so later
+	// launches size fresh lane streams to fit. Purely a host-side capacity
+	// hint: it never affects meters, and Clone deliberately does not copy
+	// it.
+	streamHint atomic.Int64
+}
+
+// noteStreamHighWater records the deepest per-lane stream a finished block
+// saw, rounded up to the next power of two so the hint converges in a few
+// launches instead of creeping.
+func (d *Device) noteStreamHighWater(n int) {
+	if n <= minStreamCap {
+		return
+	}
+	c := int64(minStreamCap)
+	for c < int64(n) {
+		c <<= 1
+	}
+	for {
+		cur := d.streamHint.Load()
+		if c <= cur {
+			return
+		}
+		if d.streamHint.CompareAndSwap(cur, c) {
+			return
+		}
+	}
 }
 
 // TeslaC1060 returns the GT200-class device of the paper (CUDA compute

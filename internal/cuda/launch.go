@@ -33,23 +33,17 @@ type LaunchObserver interface {
 	ObserveLaunch(cfg *LaunchConfig, res *LaunchResult)
 }
 
-// addrStat is the per-address cross-block atomic histogram entry: how many
-// atomic operations touched the address, and how many distinct executed
-// blocks they came from. The block count lets sampled launches distinguish
-// block-shared addresses (whose distinct count must NOT scale with the
-// stride) from block-private ones (whose count must).
-type addrStat struct {
-	ops    int64
-	blocks int32
-}
-
-// workerAccum collects one worker goroutine's meters and atomic histogram.
-// Workers never share accumulators, so block results merge in worker-index
-// order after the launch — float64 sums are then bit-reproducible run to
-// run (summing under a mutex in goroutine-scheduling order is not).
+// workerAccum collects one worker goroutine's meters and atomic histogram —
+// per address, how many atomic operations touched it and how many distinct
+// executed blocks they came from. The block count lets sampled launches
+// distinguish block-shared addresses (whose distinct count must NOT scale
+// with the stride) from block-private ones (whose count must). Workers never
+// share accumulators, so block results merge in worker-index order after the
+// launch — float64 sums are then bit-reproducible run to run (summing under
+// a mutex in goroutine-scheduling order is not).
 type workerAccum struct {
 	meter Meter
-	addrs map[uint64]addrStat
+	addrs *statTable
 }
 
 // Launch executes a kernel over the grid described by cfg on the simulated
@@ -95,20 +89,16 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 	acc := make([]workerAccum, workers)
 	runRange := func(w int) error {
 		a := &acc[w]
-		a.addrs = map[uint64]addrStat{}
-		blk := newBlock(dev, &cfg)
+		a.addrs = newStatTable()
+		blk := getBlock(dev, &cfg)
+		defer putBlock(blk)
+		blk.stats = a.addrs
 		for i := w * stride; i < blocks; i += stride * workers {
 			blk.reset(i)
 			if err := runBlock(blk, k); err != nil {
 				return err
 			}
 			a.meter.Add(blk.meter)
-			for addr, n := range blk.atomicAddrs {
-				st := a.addrs[addr]
-				st.ops += int64(n)
-				st.blocks++
-				a.addrs[addr] = st
-			}
 		}
 		return nil
 	}
@@ -142,15 +132,13 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 	// a deterministic merge order is what makes whole-launch meters
 	// bit-identical across runs of the same seed.
 	total := Meter{}
-	addrs := map[uint64]addrStat{}
-	for w := range acc {
+	addrs := acc[0].addrs
+	total.Add(&acc[0].meter)
+	for w := 1; w < len(acc); w++ {
 		total.Add(&acc[w].meter)
-		for addr, st := range acc[w].addrs {
-			cur := addrs[addr]
-			cur.ops += st.ops
-			cur.blocks += st.blocks
-			addrs[addr] = cur
-		}
+		acc[w].addrs.each(func(addr uint64, ops int64, blks int32) {
+			addrs.add(addr, ops, blks)
+		})
 	}
 
 	if executed < blocks {
@@ -215,17 +203,17 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 // bring their own addresses, so the distinct count extrapolates and each
 // address keeps its per-block multiplicity. The sums accumulate in integer
 // arithmetic, so map iteration order cannot perturb the result.
-func applyCrossBlockAtomics(total *Meter, addrs map[uint64]addrStat, f float64) {
+func applyCrossBlockAtomics(total *Meter, addrs *statTable, f float64) {
 	var sharedOps, sharedCnt, privExtra, privCnt int64
-	for _, st := range addrs {
-		if st.blocks > 1 {
-			sharedOps += st.ops
+	addrs.each(func(_ uint64, ops int64, blocks int32) {
+		if blocks > 1 {
+			sharedOps += ops
 			sharedCnt++
 		} else {
-			privExtra += st.ops - 1
+			privExtra += ops - 1
 			privCnt++
 		}
-	}
+	})
 	// Shared addresses: estimated ops per address scale by f, minus the one
 	// non-serialised op each (f >= 1 and ops >= 2 keep every term positive).
 	crossExtra := f*float64(sharedOps) - float64(sharedCnt) + f*float64(privExtra)

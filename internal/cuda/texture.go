@@ -20,20 +20,33 @@ func (t *Texture) Len() int { return t.buf.Len() }
 
 // texTags is a direct-mapped tag store modelling the texture cache. It is
 // deterministic: the same access sequence yields the same hits and misses.
+// Instances are pooled with their Block: inUse marks a cache the current
+// block has touched, so Block.reset invalidates exactly those (see
+// Block.texCache).
 type texTags struct {
-	tags []int64
+	tags  []int64
+	inUse bool
 }
 
-func newTexTags(dev *Device) *texTags {
+func texLines(dev *Device) int {
 	lines := dev.TextureCacheBytes / dev.TextureLineBytes
 	if lines < 1 {
 		lines = 1
 	}
-	t := &texTags{tags: make([]int64, lines)}
+	return lines
+}
+
+func newTexTags(dev *Device) *texTags {
+	t := &texTags{tags: make([]int64, texLines(dev))}
+	t.reset()
+	return t
+}
+
+// reset invalidates every line, returning the cache to its cold state.
+func (t *texTags) reset() {
 	for i := range t.tags {
 		t.tags[i] = -1
 	}
-	return t
 }
 
 // probe checks whether line is cached, inserting it if not, and reports the

@@ -142,7 +142,7 @@ func (t *Thread) AtomicAddF32(buf *F32, i int, v float32) float32 {
 	old := buf.data[i]
 	buf.data[i] = old + v
 	mu.Unlock()
-	t.b.atomicAddrs[atomicKey(buf.id, i)]++
+	t.b.noteAtomic(atomicKey(buf.id, i))
 	return old
 }
 
@@ -155,7 +155,7 @@ func (t *Thread) AtomicAddI32(buf *I32, i int, v int32) int32 {
 	old := buf.data[i]
 	buf.data[i] = old + v
 	mu.Unlock()
-	t.b.atomicAddrs[atomicKey(buf.id, i)]++
+	t.b.noteAtomic(atomicKey(buf.id, i))
 	return old
 }
 

@@ -98,6 +98,16 @@ func NextF32(t *cuda.Thread, states []uint64, i int) float32 {
 	return v
 }
 
+// NextF32Raw advances states[i] and returns the draw without charging a
+// thread: the warp-vector kernels account DeviceLCGCharge at warp
+// granularity through Warp.Charge instead.
+func NextF32Raw(states []uint64, i int) float32 {
+	g := FromState(states[i])
+	v := g.Float32()
+	states[i] = g.State()
+	return v
+}
+
 // LibNextF32 draws a uniform float32 the way a library generator would: the
 // per-thread state (LibStateWords 8-byte words, standing in for XORWOW's
 // 48-byte state) lives in global device memory, so every draw pays metered
