@@ -286,9 +286,18 @@ type SolveOptions struct {
 	// deterministic and byte-identical with metrics on or off.
 	Metrics *Metrics
 	// Optimum is the known optimal tour length of the instance, when the
-	// caller has one. It only feeds the antgpu_optimum_gap_ratio gauge;
-	// zero (unknown) disables that series.
+	// caller has one. It feeds the antgpu_optimum_gap_ratio gauge and the
+	// Gap field of OnIteration events; zero (unknown) disables both.
 	Optimum int64
+	// OnIteration, when non-nil, receives one IterationEvent per completed
+	// ACO iteration — iteration best/mean tour length, best-so-far, gap to
+	// Optimum, pheromone entropy and λ-branching — called synchronously
+	// from the solve goroutine in iteration order. It works with or
+	// without Metrics and is produced by the AlgorithmAS paths on both
+	// backends (including the fault-tolerant runtime); other algorithms
+	// complete without events. This is the feed the antgpud service
+	// streams to clients over SSE.
+	OnIteration func(IterationEvent)
 
 	// cache, when non-nil, is the batch pool's shared derived-data cache
 	// (set by Pool/SolveBatch before dispatching each request). Cached data

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"antgpu/internal/metrics"
 	"antgpu/internal/sched"
 	"antgpu/internal/trace"
 )
@@ -99,15 +101,103 @@ type Pool struct {
 	workers int
 	cache   *sched.Cache
 	metrics *Metrics
+
+	// Submit-path state: a counting semaphore bounding one-off solves to
+	// the same worker budget SolveBatch uses, plus live depth counters —
+	// the backpressure signals a service front end keys admission off.
+	sem    chan struct{}
+	queued atomic.Int64
+	busy   atomic.Int64
 }
 
 // NewPool returns a Pool with the given options.
 func NewPool(opts PoolOptions) *Pool {
-	p := &Pool{workers: opts.Workers, metrics: opts.Metrics}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, metrics: opts.Metrics, sem: make(chan struct{}, workers)}
 	if !opts.DisableCache {
 		p.cache = sched.NewCache()
 	}
 	return p
+}
+
+// Workers returns the pool's resolved worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth returns the number of Submit calls currently waiting for a
+// worker slot. A front end uses it (or the antgpu_pool_queue_depth gauge it
+// feeds) for admission control: past a configured depth, reject instead of
+// queueing without bound.
+func (p *Pool) QueueDepth() int { return int(p.queued.Load()) }
+
+// BusyWorkers returns the number of Submit solves currently running.
+func (p *Pool) BusyWorkers() int { return int(p.busy.Load()) }
+
+// Submit runs one request through the pool's bounded workers: it waits for
+// a free worker slot, then solves — the long-running service path, where
+// requests arrive one at a time and stream in continuously instead of as
+// preassembled batches. Submit shares the pool's derived-data cache and
+// metrics inheritance with SolveBatch and updates the same queue-depth and
+// busy-workers gauges, but its worker budget is its own: concurrent
+// SolveBatch calls spin their own workers. started, when non-nil, is
+// called exactly once if and when a worker picks the request up — the hook
+// a front end uses to flip a job from queued to running. A context
+// cancelled while queued abandons the wait and returns ctx.Err() without
+// calling started.
+func (p *Pool) Submit(ctx context.Context, req SolveRequest, started func()) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("antgpu: Submit on a nil Pool")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	queueGauge, busyGauge := p.poolGauges()
+	queueGauge.Set(float64(p.queued.Add(1)))
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		queueGauge.Set(float64(p.queued.Add(-1)))
+		return nil, ctx.Err()
+	}
+	queueGauge.Set(float64(p.queued.Add(-1)))
+	busyGauge.Set(float64(p.busy.Add(1)))
+	defer func() {
+		busyGauge.Set(float64(p.busy.Add(-1)))
+		<-p.sem
+	}()
+	if started != nil {
+		started()
+	}
+
+	opts := req.Options
+	opts.cache = p.cache
+	if opts.Metrics == nil {
+		opts.Metrics = p.metrics
+	}
+	res, err := SolveContext(ctx, req.Instance, opts)
+	if p.metrics != nil {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		p.metrics.Counter("antgpu_pool_requests_total",
+			"Batch requests completed.", "status", status).Inc()
+	}
+	return res, err
+}
+
+// poolGauges returns the queue-depth and busy-workers gauge handles (no-ops
+// when the pool runs unobserved — a zero-value gauge drops every Set).
+func (p *Pool) poolGauges() (queue, busy metrics.Gauge) {
+	if p.metrics == nil {
+		return metrics.Gauge{}, metrics.Gauge{}
+	}
+	return p.metrics.Gauge("antgpu_pool_queue_depth",
+			"Submitted batch requests not yet picked up by a worker."),
+		p.metrics.Gauge("antgpu_pool_workers_busy",
+			"Pool workers currently running a solve.")
 }
 
 // Metrics returns the pool's registry (PoolOptions.Metrics), or nil when
@@ -135,11 +225,7 @@ func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchRepor
 	start := time.Now()
 
 	rep := &BatchReport{Results: make([]BatchItem, len(reqs))}
-	workers := p.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	errs := sched.RunHooked(ctx, len(reqs), workers, func(ctx context.Context, i int) error {
+	errs := sched.RunHooked(ctx, len(reqs), p.workers, func(ctx context.Context, i int) error {
 		opts := reqs[i].Options
 		opts.cache = p.cache
 		if opts.Metrics == nil {
@@ -160,6 +246,13 @@ func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchRepor
 		if err != nil && rep.Results[i].Result == nil && rep.Results[i].Err == nil {
 			rep.Results[i].Err = err
 		}
+	}
+	if p.metrics != nil {
+		// Nothing is queued once the batch returns. On a cancelled batch the
+		// last Start hook fired before the undispatched requests were
+		// fast-failed, so the gauge would otherwise hold the pre-cancel depth.
+		queueGauge, _ := p.poolGauges()
+		queueGauge.Set(float64(p.queued.Load()))
 	}
 
 	rep.WallSeconds = time.Since(start).Seconds()

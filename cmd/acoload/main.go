@@ -1,0 +1,465 @@
+// Command acoload is the load generator for the antgpud solve service. It
+// drives many concurrent clients through the full submit→poll/stream→
+// result cycle, measures end-to-end job latency percentiles, and — when it
+// hosts the service itself — verifies that a graceful drain completes
+// every in-flight job.
+//
+// Usage:
+//
+//	acoload                                    # self-hosted service, defaults
+//	acoload -clients 32 -requests 500          # the acceptance workload
+//	acoload -addr 127.0.0.1:8080 -requests 200 # against a running antgpud
+//	acoload -json BENCH_service.json           # write the benchmark report
+//
+// Every Nth request follows the job over the SSE event stream instead of
+// polling, so the stream path is exercised under load too. 429 responses
+// (admission control or rate limits) are retried with backoff and counted,
+// not treated as failures. The drain phase — self-hosted mode only, since
+// a remote antgpud drains on SIGTERM — submits a final wave, drains the
+// service, and reports how many of those in-flight jobs completed versus
+// dropped; the acceptance bar is zero dropped.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"antgpu"
+	"antgpu/internal/metrics"
+	"antgpu/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acoload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_service.json schema.
+type report struct {
+	Benchmark     string        `json:"benchmark"` // always "service"
+	Instance      string        `json:"instance"`
+	Iterations    int           `json:"iterations"`
+	Clients       int           `json:"clients"`
+	Requests      int           `json:"requests"`
+	Completed     int           `json:"completed"`
+	Failed        int           `json:"failed"`
+	Rejected429   int64         `json:"rejected_429"`
+	Streamed      int64         `json:"streamed"`
+	WallSeconds   float64       `json:"wall_seconds"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	JobLatency    latencySum    `json:"job_latency_seconds"`
+	SubmitLatency latencySum    `json:"submit_latency_seconds"`
+	Drain         *drainSummary `json:"drain,omitempty"`
+}
+
+type latencySum struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+type drainSummary struct {
+	InFlight  int     `json:"inflight"`
+	Completed int     `json:"completed"`
+	Dropped   int     `json:"dropped"`
+	Seconds   float64 `json:"seconds"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := newFlags()
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	f := fs
+	if *f.clients < 1 || *f.requests < 1 {
+		return fmt.Errorf("-clients and -requests must be positive")
+	}
+
+	base := "http://" + *f.addr
+	var svc *service.Service
+	if *f.addr == "" {
+		// Self-hosted: boot the full antgpud stack in-process so the drain
+		// phase can be driven and verified.
+		reg := antgpu.NewMetrics()
+		pool := antgpu.NewPool(antgpu.PoolOptions{Workers: *f.workers, Metrics: reg})
+		svc = service.New(service.Options{
+			Pool:          pool,
+			Metrics:       reg,
+			MaxQueueDepth: *f.maxQueue,
+		})
+		srv, err := metrics.ServeHandler("127.0.0.1:0", svc.Handler())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		base = "http://" + srv.Addr()
+		fmt.Fprintf(stdout, "acoload: self-hosted service on %s (workers=%d maxqueue=%d)\n",
+			base, pool.Workers(), svc.MaxQueueDepth())
+	}
+
+	rep := report{
+		Benchmark:  "service",
+		Instance:   *f.bench,
+		Iterations: *f.iters,
+		Clients:    *f.clients,
+		Requests:   *f.requests,
+	}
+	body := fmt.Sprintf(`{"benchmark":%q,"iterations":%d}`, *f.bench, *f.iters)
+
+	// The measured phase: clients pull request indices off a shared counter
+	// until the budget is spent.
+	var (
+		next     atomic.Int64
+		rejected atomic.Int64
+		streamed atomic.Int64
+		mu       sync.Mutex
+		jobLats  []float64
+		subLats  []float64
+		failures []string
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *f.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &client{
+				base:   base,
+				id:     fmt.Sprintf("acoload-%d", c),
+				http:   &http.Client{Timeout: 2 * time.Minute},
+				rej429: &rejected,
+			}
+			for {
+				i := next.Add(1)
+				if i > int64(*f.requests) {
+					return
+				}
+				useSSE := *f.sseEvery > 0 && i%int64(*f.sseEvery) == 0
+				jobLat, subLat, err := cl.solve(body, useSSE)
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, err.Error())
+				} else {
+					jobLats = append(jobLats, jobLat.Seconds())
+					subLats = append(subLats, subLat.Seconds())
+				}
+				mu.Unlock()
+				if err == nil && useSSE {
+					streamed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.Completed = len(jobLats)
+	rep.Failed = len(failures)
+	rep.Rejected429 = rejected.Load()
+	rep.Streamed = streamed.Load()
+	if rep.WallSeconds > 0 {
+		rep.ThroughputRPS = float64(rep.Completed) / rep.WallSeconds
+	}
+	rep.JobLatency = summarise(jobLats)
+	rep.SubmitLatency = summarise(subLats)
+	for i, msg := range failures {
+		if i == 5 {
+			fmt.Fprintf(stdout, "acoload: ... and %d more failures\n", len(failures)-5)
+			break
+		}
+		fmt.Fprintf(stdout, "acoload: request failed: %s\n", msg)
+	}
+
+	// Drain phase: submit one last wave, drain, and count survivors.
+	if svc != nil && *f.drainWave > 0 {
+		ds, err := drainPhase(svc, base, body, *f.drainWave)
+		if err != nil {
+			return err
+		}
+		rep.Drain = ds
+	}
+
+	fmt.Fprintf(stdout,
+		"acoload: %d/%d requests ok in %.2fs (%.1f req/s), %d rejected-then-retried, %d streamed\n",
+		rep.Completed, rep.Requests, rep.WallSeconds, rep.ThroughputRPS, rep.Rejected429, rep.Streamed)
+	fmt.Fprintf(stdout, "acoload: job latency p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
+		rep.JobLatency.P50, rep.JobLatency.P95, rep.JobLatency.P99, rep.JobLatency.Max)
+	if rep.Drain != nil {
+		fmt.Fprintf(stdout, "acoload: drain completed %d/%d in-flight jobs, %d dropped\n",
+			rep.Drain.Completed, rep.Drain.InFlight, rep.Drain.Dropped)
+	}
+
+	if *f.jsonOut != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*f.jsonOut, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "acoload: wrote %s\n", *f.jsonOut)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d requests failed", rep.Failed)
+	}
+	if rep.Drain != nil && rep.Drain.Dropped > 0 {
+		return fmt.Errorf("drain dropped %d in-flight jobs", rep.Drain.Dropped)
+	}
+	return nil
+}
+
+type flags struct {
+	fs        *flag.FlagSet
+	addr      *string
+	clients   *int
+	requests  *int
+	bench     *string
+	iters     *int
+	workers   *int
+	maxQueue  *int
+	sseEvery  *int
+	drainWave *int
+	jsonOut   *string
+}
+
+func newFlags() *flags {
+	fs := flag.NewFlagSet("acoload", flag.ContinueOnError)
+	return &flags{
+		fs:       fs,
+		addr:     fs.String("addr", "", "antgpud address to load (empty = self-host the service in-process)"),
+		clients:  fs.Int("clients", 32, "concurrent clients"),
+		requests: fs.Int("requests", 500, "total requests across all clients"),
+		bench:    fs.String("benchmark", "att48", "benchmark instance each request solves"),
+		iters:    fs.Int("iterations", 5, "iterations per solve"),
+		workers:  fs.Int("workers", 0, "solve workers in self-hosted mode (0 = GOMAXPROCS)"),
+		maxQueue: fs.Int("maxqueue", -1, "admission depth in self-hosted mode (-1 = unbounded)"),
+		sseEvery: fs.Int("sse-every", 4, "follow every Nth request over SSE instead of polling (0 = never)"),
+		drainWave: fs.Int("drainwave", 16, "in-flight jobs submitted before the graceful-drain check "+
+			"(self-hosted mode; 0 = skip)"),
+		jsonOut: fs.String("json", "", "write the benchmark report to this file (e.g. BENCH_service.json)"),
+	}
+}
+
+// client drives one load-generation client identity.
+type client struct {
+	base   string
+	id     string
+	http   *http.Client
+	rej429 *atomic.Int64
+}
+
+// solve runs one request to a terminal state and returns (job latency,
+// submit latency). Job latency spans first submit attempt to observed
+// terminal state, so retry backoff after 429s is counted against the
+// service — that is the latency a real client experiences.
+func (c *client) solve(body string, useSSE bool) (jobLat, subLat time.Duration, err error) {
+	start := time.Now()
+	id, subLat, err := c.submit(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	var state string
+	if useSSE {
+		state, err = c.follow(id)
+	} else {
+		state, err = c.poll(id)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if state != "done" {
+		return 0, 0, fmt.Errorf("job %s ended %q", id, state)
+	}
+	return time.Since(start), subLat, nil
+}
+
+// submit POSTs the solve, retrying 429s with backoff, and returns the job
+// ID and the accepted POST's round-trip time.
+func (c *client) submit(body string) (string, time.Duration, error) {
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/solve", strings.NewReader(body))
+		if err != nil {
+			return "", 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-ID", c.id)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return "", 0, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		rtt := time.Since(t0)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(b, &st); err != nil || st.ID == "" {
+				return "", 0, fmt.Errorf("submit response %q: %v", b, err)
+			}
+			return st.ID, rtt, nil
+		case http.StatusTooManyRequests:
+			c.rej429.Add(1)
+			if attempt > 200 {
+				return "", 0, fmt.Errorf("still overloaded after %d retries", attempt)
+			}
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return "", 0, fmt.Errorf("submit status %d: %s", resp.StatusCode, b)
+		}
+	}
+}
+
+// poll GETs the job until it reaches a terminal state.
+func (c *client) poll(id string) (string, error) {
+	for {
+		resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("poll status %d: %s", resp.StatusCode, b)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			return "", fmt.Errorf("poll body %q: %v", b, err)
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st.State, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// follow consumes the job's SSE stream until the terminal status event and
+// returns the final state.
+func (c *client) follow(id string) (string, error) {
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("events status %d: %s", resp.StatusCode, b)
+	}
+	var evType, state string
+	iterations := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			evType = v
+			if evType == "iteration" {
+				iterations++
+			}
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok && evType == "status" {
+			var st struct {
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal([]byte(data), &st); err != nil {
+				return "", fmt.Errorf("status event %q: %v", data, err)
+			}
+			state = st.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("stream read: %v", err)
+	}
+	if state == "" {
+		return "", fmt.Errorf("stream ended without a status event (%d iterations seen)", iterations)
+	}
+	return state, nil
+}
+
+// drainPhase submits a wave of jobs, gracefully drains the service, and
+// verifies every in-flight job completed.
+func drainPhase(svc *service.Service, base, body string, wave int) (*drainSummary, error) {
+	cl := &client{base: base, id: "acoload-drain", http: &http.Client{Timeout: 2 * time.Minute}, rej429: new(atomic.Int64)}
+	ids := make([]string, 0, wave)
+	for i := 0; i < wave; i++ {
+		id, _, err := cl.submit(body)
+		if err != nil {
+			return nil, fmt.Errorf("drain wave submit %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		return nil, fmt.Errorf("drain: %w", err)
+	}
+	ds := &drainSummary{InFlight: wave, Seconds: time.Since(t0).Seconds()}
+	for _, id := range ids {
+		st, err := svc.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == service.StateDone {
+			ds.Completed++
+		} else {
+			ds.Dropped++
+		}
+	}
+	return ds, nil
+}
+
+// summarise computes the latency summary of a sample set.
+func summarise(xs []float64) latencySum {
+	if len(xs) == 0 {
+		return latencySum{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pct := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return latencySum{
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		Mean: sum / float64(len(sorted)),
+		Max:  sorted[len(sorted)-1],
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadRunSelfHosted runs a small self-hosted load: every request must
+// complete, the drain wave must drop nothing, and the JSON report must
+// carry coherent percentiles.
+func TestLoadRunSelfHosted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-clients", "4", "-requests", "12", "-iterations", "3",
+		"-workers", "2", "-sse-every", "3", "-drainwave", "4",
+		"-json", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, b)
+	}
+	if rep.Completed != 12 || rep.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 12/0", rep.Completed, rep.Failed)
+	}
+	if rep.Clients != 4 || rep.Requests != 12 {
+		t.Errorf("report shape %+v", rep)
+	}
+	if rep.Streamed == 0 {
+		t.Error("no requests took the SSE path despite -sse-every 3")
+	}
+	l := rep.JobLatency
+	if l.P50 <= 0 || l.P95 < l.P50 || l.P99 < l.P95 || l.Max < l.P99 {
+		t.Errorf("incoherent percentiles: %+v", l)
+	}
+	if rep.Drain == nil {
+		t.Fatal("drain summary missing")
+	}
+	if rep.Drain.InFlight != 4 || rep.Drain.Completed != 4 || rep.Drain.Dropped != 0 {
+		t.Errorf("drain summary %+v, want 4 in-flight all completed", rep.Drain)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run([]string{"-clients", "0"}, &buf); err == nil {
+		t.Fatal("run accepted zero clients")
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := summarise([]float64{3, 1, 2, 4})
+	if s.P50 != 2 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("summarise = %+v", s)
+	}
+	if z := summarise(nil); z.P50 != 0 || z.Max != 0 {
+		t.Errorf("empty summarise = %+v", z)
+	}
+}

@@ -1,0 +1,114 @@
+// Command antgpud is the long-running solve server: an HTTP/JSON front end
+// over the shared solve pool, with per-iteration convergence streamed as
+// Server-Sent Events and the metrics exposition co-hosted on the same
+// listener.
+//
+// Usage:
+//
+//	antgpud                                  # listen on 127.0.0.1:8080
+//	antgpud -addr :9090 -workers 8           # public, bounded concurrency
+//	antgpud -maxqueue 64 -rate 10 -burst 20  # admission + rate limits
+//
+// Endpoints:
+//
+//	POST   /v1/solve            submit (benchmark or TSPLIB upload)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        poll status/result
+//	GET    /v1/jobs/{id}/events per-iteration convergence over SSE
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             readiness (503 while draining)
+//	GET    /metrics             Prometheus exposition
+//	GET    /debug/antgpu        JSON metrics snapshot
+//
+// On SIGINT/SIGTERM the server drains gracefully: admission stops (429/503
+// to new submits), in-flight jobs run to completion for up to
+// -drain-timeout, then any stragglers are cancelled and the listener shut
+// down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"antgpu"
+	"antgpu/internal/metrics"
+	"antgpu/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antgpud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("antgpud", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 for ephemeral)")
+		workers  = fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		maxQueue = fs.Int("maxqueue", 0, "admitted jobs waiting for a worker before 429s "+
+			"(0 = 4x workers, negative = unbounded)")
+		rate         = fs.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+		burst        = fs.Int("burst", 0, "per-client burst size (0 = derived from -rate)")
+		maxIters     = fs.Int("maxiters", 0, "largest accepted per-job iteration count (0 = 100000)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
+			"how long a shutdown signal waits for in-flight jobs before cancelling them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := antgpu.NewMetrics()
+	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: *workers, Metrics: reg})
+	svc := service.New(service.Options{
+		Pool:          pool,
+		Metrics:       reg,
+		MaxQueueDepth: *maxQueue,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		MaxIterations: *maxIters,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mh := antgpu.MetricsHandler(reg)
+	mux.Handle("/metrics", mh)
+	mux.Handle("/debug/antgpu", mh)
+
+	srv, err := metrics.ServeHandler(*addr, mux)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "antgpud listening on http://%s (workers=%d maxqueue=%d)\n",
+		srv.Addr(), pool.Workers(), svc.MaxQueueDepth())
+
+	<-ctx.Done()
+	fmt.Fprintln(stdout, "antgpud draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		n := svc.CancelAll()
+		fmt.Fprintf(stdout, "antgpud drain timed out after %s, cancelled %d in-flight jobs\n",
+			*drainTimeout, n)
+		// The cancelled jobs unwind quickly; give them a moment so the final
+		// wg state is clean before the listener goes away.
+		fctx, fcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer fcancel()
+		_ = svc.Drain(fctx)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "antgpud stopped")
+	return nil
+}

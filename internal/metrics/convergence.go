@@ -25,8 +25,32 @@ import "math"
 // LambdaBranchingFactor is the λ of the λ-branching statistic.
 const LambdaBranchingFactor = 0.05
 
+// IterationEvent is one iteration's complete convergence snapshot, as
+// delivered to a sink (NewConvergenceWithSink): the per-iteration and
+// best-so-far tour lengths, the gap to the known optimum (when one was
+// given), and the two stagnation statistics. It is the unit a solve
+// service streams to a waiting client.
+type IterationEvent struct {
+	// Iteration is the 1-based iteration number within the solve.
+	Iteration int `json:"iteration"`
+	// Best is the best tour length found in this iteration.
+	Best float64 `json:"best"`
+	// Mean is the mean tour length over all ants in this iteration.
+	Mean float64 `json:"mean"`
+	// BestSoFar is the best tour length found so far in the solve.
+	BestSoFar int64 `json:"best_so_far"`
+	// Gap is BestSoFar over the known optimum minus one; zero when no
+	// optimum was given.
+	Gap float64 `json:"gap,omitempty"`
+	// Entropy is the mean normalised Shannon entropy of the pheromone rows.
+	Entropy float64 `json:"entropy"`
+	// Lambda is the average λ-branching factor of the pheromone matrix.
+	Lambda float64 `json:"lambda"`
+}
+
 // Convergence records per-iteration solution-quality and stagnation
-// metrics for one solve. Create it with NewConvergence; nil is a no-op.
+// metrics for one solve. Create it with NewConvergence (gauges only) or
+// NewConvergenceWithSink (gauges plus an event feed); nil is a no-op.
 type Convergence struct {
 	iters    Counter
 	iterBest Gauge
@@ -36,6 +60,17 @@ type Convergence struct {
 	entropy  Gauge
 	lambda   Gauge
 	optimum  float64
+
+	// sink receives one IterationEvent per iteration. The producers call
+	// RecordIteration then RecordPheromone back to back, so the event is
+	// buffered at RecordIteration and emitted once the pheromone statistics
+	// complete it (or at the next RecordIteration when a producer skips the
+	// pheromone record). Calls are serial within one solve; the recorder
+	// itself needs no locking.
+	sink       func(IterationEvent)
+	iter       int
+	pending    IterationEvent
+	hasPending bool
 }
 
 // NewConvergence returns a recorder writing to reg with the given series
@@ -46,6 +81,25 @@ func NewConvergence(reg *Registry, instance, algorithm, backend string, optimum 
 	if reg == nil {
 		return nil
 	}
+	return newConvergence(reg, instance, algorithm, backend, optimum)
+}
+
+// NewConvergenceWithSink is NewConvergence with a per-iteration event feed:
+// sink is called once per iteration, in iteration order, from the solve
+// goroutine. Unlike NewConvergence, the registry may be nil when a sink is
+// given — the recorder then feeds the sink only (the gauge handles are
+// no-ops), so a client can stream convergence without running a registry.
+// A nil sink makes this identical to NewConvergence.
+func NewConvergenceWithSink(reg *Registry, instance, algorithm, backend string, optimum int64, sink func(IterationEvent)) *Convergence {
+	if sink == nil {
+		return NewConvergence(reg, instance, algorithm, backend, optimum)
+	}
+	c := newConvergence(reg, instance, algorithm, backend, optimum)
+	c.sink = sink
+	return c
+}
+
+func newConvergence(reg *Registry, instance, algorithm, backend string, optimum int64) *Convergence {
 	l := []string{"instance", instance, "algorithm", algorithm, "backend", backend}
 	c := &Convergence{
 		iters: reg.Counter("antgpu_iterations_total",
@@ -79,8 +133,19 @@ func (c *Convergence) RecordIteration(iterBest, iterMean float64, bestSoFar int6
 	c.iterBest.Set(iterBest)
 	c.iterMean.Set(iterMean)
 	c.best.Set(float64(bestSoFar))
+	gap := 0.0
 	if c.optimum > 0 {
-		c.gap.Set(float64(bestSoFar)/c.optimum - 1)
+		gap = float64(bestSoFar)/c.optimum - 1
+		c.gap.Set(gap)
+	}
+	if c.sink != nil {
+		c.flush()
+		c.iter++
+		c.pending = IterationEvent{
+			Iteration: c.iter, Best: iterBest, Mean: iterMean,
+			BestSoFar: bestSoFar, Gap: gap,
+		}
+		c.hasPending = true
 	}
 }
 
@@ -90,8 +155,7 @@ func (c *Convergence) RecordPheromone64(pher []float64, n int) {
 	if c == nil {
 		return
 	}
-	c.entropy.Set(Entropy64(pher, n))
-	c.lambda.Set(LambdaBranching64(pher, n))
+	c.recordPheromone(Entropy64(pher, n), LambdaBranching64(pher, n))
 }
 
 // RecordPheromone32 publishes the stagnation statistics of an n×n float32
@@ -100,8 +164,33 @@ func (c *Convergence) RecordPheromone32(pher []float32, n int) {
 	if c == nil {
 		return
 	}
-	c.entropy.Set(Entropy32(pher, n))
-	c.lambda.Set(LambdaBranching32(pher, n))
+	c.recordPheromone(Entropy32(pher, n), LambdaBranching32(pher, n))
+}
+
+func (c *Convergence) recordPheromone(entropy, lambda float64) {
+	c.entropy.Set(entropy)
+	c.lambda.Set(lambda)
+	if c.sink != nil && c.hasPending {
+		c.pending.Entropy, c.pending.Lambda = entropy, lambda
+		c.flush()
+	}
+}
+
+// Flush emits a buffered iteration event that was not completed by a
+// pheromone record. Both engine producers pair the two record calls, so
+// this only matters for producers that record iterations alone; it is safe
+// to call at any time, including on a nil recorder.
+func (c *Convergence) Flush() {
+	if c != nil {
+		c.flush()
+	}
+}
+
+func (c *Convergence) flush() {
+	if c.hasPending {
+		c.hasPending = false
+		c.sink(c.pending)
+	}
 }
 
 // Entropy64 returns the mean normalised Shannon entropy of the rows of an

@@ -171,3 +171,60 @@ func TestConvergenceNoGapWithoutOptimum(t *testing.T) {
 		t.Fatal("gap gauge exists without a known optimum")
 	}
 }
+
+// TestConvergenceSinkEmitsOrderedEvents: a recorder with a sink delivers
+// one complete IterationEvent per RecordIteration/RecordPheromone pair, in
+// iteration order, with the pheromone statistics folded into the event of
+// the iteration they follow.
+func TestConvergenceSinkEmitsOrderedEvents(t *testing.T) {
+	var events []IterationEvent
+	c := NewConvergenceWithSink(nil, "att48", "as", "cpu", 10000,
+		func(ev IterationEvent) { events = append(events, ev) })
+	if c == nil {
+		t.Fatal("sink-only recorder (nil registry) must be enabled")
+	}
+
+	c.RecordIteration(11000, 11500, 10500)
+	c.RecordPheromone64(uniform(4, 0.5), 4)
+	c.RecordIteration(10800, 11100, 10400)
+	c.RecordPheromone64(uniform(4, 0.25), 4)
+
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for i, ev := range events {
+		if ev.Iteration != i+1 {
+			t.Errorf("event %d has iteration %d, want %d", i, ev.Iteration, i+1)
+		}
+	}
+	first := events[0]
+	if first.Best != 11000 || first.Mean != 11500 || first.BestSoFar != 10500 {
+		t.Errorf("event 1 quality fields wrong: %+v", first)
+	}
+	if got, want := first.Gap, 10500.0/10000.0-1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("event 1 gap = %v, want %v", got, want)
+	}
+	// A uniform matrix has entropy 1 and λ-branching n-1.
+	if first.Entropy < 0.999 || first.Entropy > 1.001 {
+		t.Errorf("event 1 entropy = %v, want ~1 for uniform trails", first.Entropy)
+	}
+	if first.Lambda != 3 {
+		t.Errorf("event 1 lambda = %v, want 3", first.Lambda)
+	}
+
+	// An unpaired iteration is flushed by the next one (or Flush).
+	c.RecordIteration(10700, 11000, 10300)
+	c.RecordIteration(10600, 10900, 10200)
+	c.Flush()
+	if len(events) != 4 {
+		t.Fatalf("got %d events after unpaired iterations, want 4", len(events))
+	}
+	if events[2].Iteration != 3 || events[3].Iteration != 4 {
+		t.Errorf("flushed events out of order: %+v", events[2:])
+	}
+
+	// NewConvergenceWithSink with a nil sink and nil registry stays disabled.
+	if NewConvergenceWithSink(nil, "x", "as", "cpu", 0, nil) != nil {
+		t.Error("nil sink + nil registry should return a nil recorder")
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -24,6 +25,10 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// CloseTimeout bounds how long Server.Close waits for in-flight responses
+// to drain before forcing the remaining connections closed.
+const CloseTimeout = 5 * time.Second
+
 // Server is a running metrics HTTP server (see Serve).
 type Server struct {
 	ln  net.Listener
@@ -36,11 +41,19 @@ type Server struct {
 // is the long-running-pool hook: create the pool with a Metrics registry,
 // Serve it, and scrape.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(r))
+}
+
+// ServeHandler is Serve with an arbitrary handler — the general form for a
+// front end that co-hosts its own routes (job submission, SSE streams)
+// with the metrics exposition on one mux and wants the same bound-listener
+// and graceful-Close lifecycle.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }
@@ -48,5 +61,16 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the server's bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully: it stops accepting connections,
+// lets in-flight responses (a scrape mid-body, an open event stream) run
+// to completion for up to CloseTimeout, and only then forces the stragglers
+// closed. http.Server.Close would abort in-flight bodies immediately,
+// which turns every shutdown into truncated scrapes on the client side.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

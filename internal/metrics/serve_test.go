@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServeEndpoints(t *testing.T) {
@@ -79,5 +80,66 @@ func TestHandlerNilRegistry(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("nil registry /metrics status %d", resp.StatusCode)
+	}
+}
+
+// TestCloseDrainsInFlightResponses: Close must let a response that is
+// mid-body complete instead of aborting the connection. The old Close used
+// http.Server.Close, which tears connections down immediately — a scrape
+// (or an SSE stream) in flight came back truncated.
+func TestCloseDrainsInFlightResponses(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	const tail = "tail-after-shutdown"
+	srv, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		if _, err := io.WriteString(w, "head,"); err != nil {
+			t.Errorf("write head: %v", err)
+		}
+		w.(http.Flusher).Flush()
+		close(inHandler)
+		<-release
+		if _, err := io.WriteString(w, tail); err != nil {
+			t.Errorf("write tail: %v", err)
+		}
+	}))
+	if err != nil {
+		t.Fatalf("ServeHandler: %v", err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+
+	<-inHandler
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Give Close time to act on the connection before the handler finishes:
+	// a graceful Close is still draining after this pause, an abortive one
+	// has already torn the connection down mid-body.
+	time.Sleep(100 * time.Millisecond)
+	release <- struct{}{}
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight response aborted by Close: %v", r.err)
+	}
+	if want := "head," + tail; r.body != want {
+		t.Fatalf("in-flight response truncated by Close: got %q, want %q", r.body, want)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }

@@ -15,11 +15,28 @@ type cacheKey struct {
 	nn   int
 }
 
-// cacheEntry computes its Derived exactly once; concurrent requesters for
-// the same key block on the sync.Once and then share the result.
+// cacheEntry computes its Derived at most once successfully; concurrent
+// requesters for the same key serialise on the entry mutex and share the
+// result. A sync.Once would mark itself done even when the computation
+// panics, leaving a permanently nil value behind — with the mutex, a panic
+// propagates to the caller that triggered it, the done flag stays false,
+// and the next request for the key retries the computation.
 type cacheEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	d    *tsp.Derived
+}
+
+// derived returns the entry's value, computing it under the entry lock if
+// no previous computation succeeded.
+func (e *cacheEntry) derived(compute func() *tsp.Derived) *tsp.Derived {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		e.d = compute()
+		e.done = true
+	}
+	return e.d
 }
 
 // Cache memoizes instance-derived read-only data across solves. It is safe
@@ -33,6 +50,10 @@ type Cache struct {
 	entries map[cacheKey]*cacheEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
+
+	// compute overrides tsp.Instance.ComputeDerived in tests (nil selects
+	// the real computation).
+	compute func(in *tsp.Instance, nn int) *tsp.Derived
 }
 
 // NewCache returns an empty derived-data cache.
@@ -43,7 +64,9 @@ func NewCache() *Cache {
 // Derived returns the shared derived data of the instance at NN width nn,
 // computing it on first use. The result is shared across callers and must
 // be treated as read-only. A nil cache computes fresh data every call
-// (counting nothing), so call sites need no nil checks.
+// (counting nothing), so call sites need no nil checks. A computation that
+// panics does not poison the key: the panic propagates to the caller and
+// the next request for the same key recomputes.
 func (c *Cache) Derived(in *tsp.Instance, nn int) *tsp.Derived {
 	nn = in.EffectiveNN(nn)
 	if c == nil {
@@ -60,8 +83,12 @@ func (c *Cache) Derived(in *tsp.Instance, nn int) *tsp.Derived {
 		c.hits.Add(1)
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.d = in.ComputeDerived(nn) })
-	return e.d
+	return e.derived(func() *tsp.Derived {
+		if c.compute != nil {
+			return c.compute(in, nn)
+		}
+		return in.ComputeDerived(nn)
+	})
 }
 
 // Stats returns the cumulative hit and miss counts. A hit is any Derived

@@ -23,9 +23,10 @@ import (
 // returns the per-job errors in job order. workers <= 0 selects
 // runtime.GOMAXPROCS(0); the worker count never exceeds n. Jobs are started
 // in index order (completion order is up to the scheduler), each receives
-// the context, and a context cancelled mid-batch fails the not-yet-started
-// jobs with ctx.Err() while already-running jobs finish on their own
-// cancellation checks. Run returns only after every started job finished.
+// the context, and a context cancelled mid-batch fast-fails every
+// not-yet-started job with ctx.Err() — without dispatching it to a worker
+// — while already-running jobs finish on their own cancellation checks.
+// Run returns only after every started job finished.
 func Run(ctx context.Context, n, workers int, job func(ctx context.Context, i int) error) []error {
 	return RunHooked(ctx, n, workers, job, Hooks{})
 }
@@ -69,6 +70,15 @@ func RunHooked(ctx context.Context, n, workers int, job func(ctx context.Context
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// A job dispatched before the cancellation but picked up
+				// after it never runs, so it must not pass through the
+				// hooks either: it was never started and no worker went
+				// busy on it. Checking the context before the Start hook
+				// keeps the queue/busy gauges honest under cancel.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				if h.Start != nil || h.Done != nil {
 					mu.Lock()
 					started++
@@ -79,11 +89,7 @@ func RunHooked(ctx context.Context, n, workers int, job func(ctx context.Context
 						h.Start(i, q, b)
 					}
 				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-				} else {
-					errs[i] = job(ctx, i)
-				}
+				errs[i] = job(ctx, i)
 				if h.Start != nil || h.Done != nil {
 					mu.Lock()
 					busy--
@@ -96,8 +102,21 @@ func RunHooked(ctx context.Context, n, workers int, job func(ctx context.Context
 			}
 		}()
 	}
+	// Feed jobs until the context dies; jobs never dispatched fail fast
+	// here instead of trickling one-by-one through the workers, so a
+	// cancelled batch tears down as quickly as its running jobs allow. The
+	// undispatched indices are untouched by any worker, so writing their
+	// errors from this goroutine is race-free.
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -259,3 +259,103 @@ func TestRunDelegatesToRunHooked(t *testing.T) {
 		t.Fatalf("ran %d jobs with %d errs, want 5 and 5", ran.Load(), len(errs))
 	}
 }
+
+// TestCachePanicDoesNotPoisonEntry: a derived-data computation that panics
+// must not leave a permanently nil entry behind. With the sync.Once-based
+// entry this failed: the Once completed despite the panic, and every later
+// request for the key got nil forever.
+func TestCachePanicDoesNotPoisonEntry(t *testing.T) {
+	c := NewCache()
+	in := loadInstance(t, "att48")
+	calls := 0
+	c.compute = func(in *tsp.Instance, nn int) *tsp.Derived {
+		calls++
+		if calls == 1 {
+			panic("transient failure")
+		}
+		return in.ComputeDerived(nn)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first Derived call swallowed the computation panic")
+			}
+		}()
+		c.Derived(in, 30)
+	}()
+
+	d := c.Derived(in, 30)
+	if d == nil {
+		t.Fatal("entry poisoned: Derived returned nil after an earlier panic")
+	}
+	if d.N != in.N() {
+		t.Fatalf("retry returned bad derived data: %+v", d)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (panic then retry)", calls)
+	}
+	// The retried value is now cached like any other.
+	if d2 := c.Derived(in, 30); d2 != d {
+		t.Error("post-retry lookup did not share the cached value")
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times after the shared lookup, want still 2", calls)
+	}
+}
+
+// TestRunHookedCancelSkipsUndispatchedJobs: after a cancellation, the jobs
+// that never started must fail fast with ctx.Err() without passing through
+// the Start/Done hooks. The old scheduler dispatched every remaining index
+// through the workers and fired Start (incrementing queue/busy telemetry)
+// before checking the context, counting jobs as started that never ran.
+func TestRunHookedCancelSkipsUndispatchedJobs(t *testing.T) {
+	const n, workers = 50, 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	running := make(chan struct{}, n)
+	release := make(chan struct{})
+	var starts, dones atomic.Int32
+	var errs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		errs = RunHooked(ctx, n, workers, func(ctx context.Context, i int) error {
+			running <- struct{}{}
+			<-release
+			return nil
+		}, Hooks{
+			Start: func(int, int, int) { starts.Add(1) },
+			Done:  func(int, error, int) { dones.Add(1) },
+		})
+	}()
+
+	// Wait for both workers to be inside a job, cancel, then let them finish.
+	<-running
+	<-running
+	cancel()
+	close(release)
+	<-done
+
+	if got := starts.Load(); got != workers {
+		t.Errorf("Start hook fired %d times, want %d (cancelled jobs must not start)", got, workers)
+	}
+	if got := dones.Load(); got != workers {
+		t.Errorf("Done hook fired %d times, want %d", got, workers)
+	}
+	ok, cancelled := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, context.Canceled):
+			cancelled++
+		default:
+			t.Errorf("unexpected job error: %v", err)
+		}
+	}
+	if ok != workers || cancelled != n-workers {
+		t.Errorf("got %d ok / %d cancelled, want %d / %d", ok, cancelled, workers, n-workers)
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns the HTTP/JSON adapter:
+//
+//	POST   /v1/solve            submit a solve, returns 202 + job status
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        poll one job's status/result
+//	GET    /v1/jobs/{id}/events stream convergence events over SSE
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             "ok" (200) or "draining" (503)
+//
+// Admission failures map to 429 (+Retry-After) for overload and rate
+// limits, 503 for draining, and 400 for invalid requests. The handler only
+// adapts; all behavior lives in the transport-neutral Service methods, and
+// the caller may mount this mux next to the metrics exposition handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps a Service error to its status code and JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrRateLimited):
+		// Backpressure: tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// clientID identifies the client for rate limiting: the X-Client-ID header
+// when present (load generators and SDKs set it), else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: an oversized TSPLIB upload fails
+	// here instead of buffering without limit. The JSON framing overhead
+	// gets a small allowance on top of the instance budget.
+	body := http.MaxBytesReader(w, r.Body, s.maxBytes+64<<10)
+	var req SubmitRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, fmt.Errorf("%w: request body exceeds %d bytes", ErrBadRequest, tooBig.Limit))
+			return
+		}
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	st, err := s.Submit(r.Context(), clientID(r), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the job's events as Server-Sent Events: an `event:`
+// line carrying the type, an `id:` line carrying the sequence number, and
+// a JSON `data:` payload per event. The stream replays history first, so a
+// late subscriber sees every iteration, and ends after the terminal status
+// event — or when the client goes away.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Job(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("service: response writer does not support streaming"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	_ = s.Stream(r.Context(), id, func(ev Event) error {
+		var payload any
+		switch ev.Type {
+		case "iteration":
+			payload = ev.Iteration
+		case "status":
+			payload = ev.Status
+		default:
+			payload = ev
+		}
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -35,6 +35,12 @@ type MetricsFamily = metrics.FamilySnapshot
 // MetricsSeries is one labeled series of a MetricsFamily.
 type MetricsSeries = metrics.SeriesSnapshot
 
+// IterationEvent is one iteration's convergence snapshot, delivered to
+// SolveOptions.OnIteration: iteration and best-so-far tour lengths, mean
+// over the colony, gap to the known optimum, pheromone entropy and
+// λ-branching.
+type IterationEvent = metrics.IterationEvent
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return metrics.New() }
 
@@ -56,15 +62,15 @@ func ServeMetrics(addr string, m *Metrics) (*MetricsServer, error) { return metr
 // CI gate runs it over `acobench -metrics` output.
 func LintMetrics(r io.Reader) []error { return metrics.Lint(r) }
 
-// solveConv builds the per-solve convergence recorder, or nil when no
-// registry is attached (the engines then skip the O(n²) pheromone
-// statistics entirely).
+// solveConv builds the per-solve convergence recorder, or nil when neither
+// a registry nor an iteration sink is attached (the engines then skip the
+// O(n²) pheromone statistics entirely).
 func solveConv(opts SolveOptions, in *Instance) *metrics.Convergence {
-	if opts.Metrics == nil {
+	if opts.Metrics == nil && opts.OnIteration == nil {
 		return nil
 	}
-	return metrics.NewConvergence(opts.Metrics, in.Name,
-		opts.Algorithm.String(), opts.Backend.String(), opts.Optimum)
+	return metrics.NewConvergenceWithSink(opts.Metrics, in.Name,
+		opts.Algorithm.String(), opts.Backend.String(), opts.Optimum, opts.OnIteration)
 }
 
 // recordSolve publishes the solve-level outcome series: the solves counter
