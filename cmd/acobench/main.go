@@ -17,6 +17,7 @@
 //	acobench -metrics             # instrumented batch; lint + print the Prometheus exposition
 //	acobench -batch -batchjson BENCH_batch.json   # batch-scheduler throughput
 //	acobench -hostbench           # host-performance harness: scalar vs warp-vector simulator paths
+//	acobench -islands             # island-ensemble sweep incl. degraded-fleet scenarios (BENCH_islands.json)
 //	acobench -cpuprofile cpu.pprof -memprofile mem.pprof   # profile the host process
 package main
 
@@ -72,6 +73,10 @@ func run(args []string, stdout io.Writer) error {
 		hostJSON  = fs.String("hostjson", "BENCH_hostperf.json", "with -hostbench, write the result as JSON to this path (empty = skip)")
 		hostInst  = fs.String("hostinstance", "", "with -hostbench, instance to benchmark on (empty = default)")
 		hostReps  = fs.Int("hostrepeats", 0, "with -hostbench, timed launches per kernel per path (0 = default)")
+		islands     = fs.Bool("islands", false, "island-ensemble benchmark: quality and wall-clock vs island count and fault pressure, incl. a kill-island-at-50% scenario")
+		islandsJSON = fs.String("islandsjson", "BENCH_islands.json", "with -islands, write the result as JSON to this path (empty = skip)")
+		islandIters = fs.Int("islanditers", 0, "with -islands, iterations per island (0 = default)")
+		islandRate  = fs.Float64("islandrate", 0, "with -islands, per-launch fault rate of the faulty scenario (0 = default)")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -119,6 +124,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *hostbench {
 		return runHostBench(stdout, *hostJSON, *hostInst, *hostReps)
+	}
+	if *islands {
+		return runIslands(stdout, *islandsJSON, *islandIters, *islandRate)
 	}
 	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
 		fs.Usage()
@@ -325,6 +333,32 @@ func runBatch(stdout io.Writer, jsonPath string, workers, seeds, iters int) erro
 // and writing the BENCH_hostperf.json trajectory file.
 func runHostBench(stdout io.Writer, jsonPath, instance string, repeats int) error {
 	r, err := bench.HostPerf(bench.HostPerfConfig{Instance: instance, Repeats: repeats})
+	if err != nil {
+		return err
+	}
+	r.Format(stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runIslands sweeps the island-model ensemble over instance x island count
+// x fault scenario (fault-free, transient faults, permanent kill at 50% of
+// the victim's launches) and writes the BENCH_islands.json artifact.
+func runIslands(stdout io.Writer, jsonPath string, iters int, rate float64) error {
+	r, err := bench.Islands(bench.IslandsConfig{Iterations: iters, FaultRate: rate})
 	if err != nil {
 		return err
 	}

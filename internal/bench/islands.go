@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/rng"
+	"antgpu/internal/tsp"
+)
+
+// Island-ensemble benchmark: quality and wall-clock versus island count and
+// fault pressure, including the degraded-fleet scenario (one island killed
+// permanently at 50% of its launch schedule). Emitted as BENCH_islands.json
+// by `acobench -islands` and uploaded as a CI artifact.
+
+// IslandsConfig controls the island benchmark sweep.
+type IslandsConfig struct {
+	// Instances to sweep; empty selects att48 and kroC100.
+	Instances []string
+	// IslandCounts to sweep under the fault-free scenario; empty selects
+	// {1, 2, 4}. The fault scenarios run at the largest count.
+	IslandCounts []int
+	// Iterations per island (zero selects 20).
+	Iterations int
+	// FaultRate is the per-launch fault probability of the "faults"
+	// scenario (zero selects 0.02).
+	FaultRate float64
+	// Seed is the master seed (zero selects 1).
+	Seed uint64
+}
+
+func (c IslandsConfig) withDefaults() IslandsConfig {
+	if len(c.Instances) == 0 {
+		c.Instances = []string{"att48", "kroC100"}
+	}
+	if len(c.IslandCounts) == 0 {
+		c.IslandCounts = []int{1, 2, 4}
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.FaultRate == 0 {
+		c.FaultRate = 0.02
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// IslandsRow is one (instance, island count, scenario) measurement.
+type IslandsRow struct {
+	Instance string `json:"instance"`
+	Islands  int    `json:"islands"`
+	// Scenario is "fault-free", "faults" (every island at FaultRate) or
+	// "kill@50%" (one island dies permanently at half its launches).
+	Scenario string `json:"scenario"`
+	BestLen  int64  `json:"best_len"`
+	// GapPct is the quality gap to the fault-free run at the same island
+	// count, in percent (negative means the faulty run found a better
+	// tour).
+	GapPct float64 `json:"gap_pct"`
+	// SimSeconds is the fleet's simulated wall-clock (slowest island,
+	// including retry backoff); HostMS is the host wall-clock of the run.
+	SimSeconds float64 `json:"sim_seconds"`
+	HostMS     float64 `json:"host_ms"`
+	// Recovery activity aggregated over islands.
+	Faults             int `json:"faults"`
+	Quarantined        int `json:"quarantined"`
+	Respawns           int `json:"respawns"`
+	Restarts           int `json:"restarts"`
+	MigrationsAccepted int `json:"migrations_accepted"`
+	ActiveIslands      int `json:"active_islands"`
+}
+
+// IslandsResult is the island benchmark outcome, shaped for
+// BENCH_islands.json.
+type IslandsResult struct {
+	Device     string       `json:"device"`
+	Iterations int          `json:"iterations"`
+	FaultRate  float64      `json:"fault_rate"`
+	Seed       uint64       `json:"seed"`
+	Rows       []IslandsRow `json:"rows"`
+}
+
+// Islands runs the island-ensemble sweep.
+func Islands(cfg IslandsConfig) (*IslandsResult, error) {
+	cfg = cfg.withDefaults()
+	base := cuda.TeslaM2050()
+	out := &IslandsResult{
+		Device:     base.Name,
+		Iterations: cfg.Iterations,
+		FaultRate:  cfg.FaultRate,
+		Seed:       cfg.Seed,
+	}
+	maxCount := 0
+	for _, c := range cfg.IslandCounts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	p := aco.DefaultParams()
+	p.Seed = cfg.Seed
+
+	run := func(in *tsp.Instance, plans []*cuda.FaultPlan) (*core.IslandsResult, float64, error) {
+		devs := make([]*cuda.Device, len(plans))
+		for i := range devs {
+			devs[i] = base.Clone()
+			devs[i].Faults = plans[i]
+		}
+		start := time.Now()
+		r, err := core.RunIslands(context.Background(), devs, in, p,
+			core.IslandConfig{Iterations: cfg.Iterations})
+		return r, float64(time.Since(start).Nanoseconds()) / 1e6, err
+	}
+	row := func(in *tsp.Instance, scenario string, cleanLen int64, r *core.IslandsResult, hostMS float64) IslandsRow {
+		rw := IslandsRow{
+			Instance:      in.Name,
+			Islands:       len(r.Report.Islands),
+			Scenario:      scenario,
+			BestLen:       r.BestLen,
+			SimSeconds:    r.Seconds,
+			HostMS:        hostMS,
+			Quarantined:   r.Report.Quarantined(),
+			ActiveIslands: r.Report.ActiveIslands,
+		}
+		if cleanLen > 0 {
+			rw.GapPct = 100 * (float64(r.BestLen) - float64(cleanLen)) / float64(cleanLen)
+		}
+		for _, st := range r.Report.Islands {
+			rw.Faults += st.Faults
+			rw.Respawns += st.Respawns
+			rw.Restarts += st.Restarts
+			rw.MigrationsAccepted += st.MigrationsAccepted
+		}
+		return rw
+	}
+
+	for _, name := range cfg.Instances {
+		in, err := tsp.LoadBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		victim := maxCount / 2
+		var killAt uint64
+		cleanAt := map[int]int64{}
+		for _, count := range cfg.IslandCounts {
+			plans := make([]*cuda.FaultPlan, count)
+			if count == maxCount {
+				// Zero-rate plan: injects nothing, but counts the victim's
+				// launch opportunities so the kill scenario can aim at 50%.
+				plans[victim] = &cuda.FaultPlan{}
+			}
+			r, hostMS, err := run(in, plans)
+			if err != nil {
+				return nil, fmt.Errorf("bench: islands %s x%d fault-free: %w", name, count, err)
+			}
+			cleanAt[count] = r.BestLen
+			if count == maxCount {
+				killAt = plans[victim].Launches() / 2
+			}
+			out.Rows = append(out.Rows, row(in, "fault-free", 0, r, hostMS))
+		}
+
+		// Every island under transient fault pressure at FaultRate.
+		plans := make([]*cuda.FaultPlan, maxCount)
+		for i := range plans {
+			plans[i] = &cuda.FaultPlan{Seed: rng.IslandSeed(cfg.Seed, i), LaunchRate: cfg.FaultRate}
+		}
+		r, hostMS, err := run(in, plans)
+		if err != nil {
+			return nil, fmt.Errorf("bench: islands %s x%d faults: %w", name, maxCount, err)
+		}
+		out.Rows = append(out.Rows, row(in, "faults", cleanAt[maxCount], r, hostMS))
+
+		// One island dies for good halfway through its launch schedule.
+		plans = make([]*cuda.FaultPlan, maxCount)
+		plans[victim] = &cuda.FaultPlan{DieAtLaunch: killAt}
+		r, hostMS, err = run(in, plans)
+		if err != nil {
+			return nil, fmt.Errorf("bench: islands %s x%d kill: %w", name, maxCount, err)
+		}
+		out.Rows = append(out.Rows, row(in, "kill@50%", cleanAt[maxCount], r, hostMS))
+	}
+	return out, nil
+}
+
+// WriteJSON writes the result as indented JSON (the BENCH_islands.json
+// artifact).
+func (r *IslandsResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format writes a human-readable summary table.
+func (r *IslandsResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "island ensemble: %s, %d iterations, fault rate %.2f, seed %d\n\n",
+		r.Device, r.Iterations, r.FaultRate, r.Seed)
+	fmt.Fprintf(w, "%-10s %8s %-11s %10s %8s %10s %9s %7s %6s %5s\n",
+		"instance", "islands", "scenario", "best", "gap%", "sim ms", "host ms", "faults", "quar", "migr")
+	for _, rw := range r.Rows {
+		fmt.Fprintf(w, "%-10s %8d %-11s %10d %8.2f %10.2f %9.1f %7d %6d %5d\n",
+			rw.Instance, rw.Islands, rw.Scenario, rw.BestLen, rw.GapPct,
+			rw.SimSeconds*1e3, rw.HostMS, rw.Faults, rw.Quarantined, rw.MigrationsAccepted)
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestIslandsBench runs a miniature sweep and checks the rows cover every
+// scenario, the kill scenario actually quarantines an island, and the JSON
+// artifact round-trips.
+func TestIslandsBench(t *testing.T) {
+	r, err := Islands(IslandsConfig{
+		Instances:    []string{"att48"},
+		IslandCounts: []int{1, 2},
+		Iterations:   4,
+	})
+	if err != nil {
+		t.Fatalf("Islands: %v", err)
+	}
+	scenarios := map[string]int{}
+	for _, rw := range r.Rows {
+		scenarios[rw.Scenario]++
+		if rw.BestLen <= 0 || rw.SimSeconds <= 0 {
+			t.Fatalf("degenerate row: %+v", rw)
+		}
+	}
+	if scenarios["fault-free"] != 2 || scenarios["faults"] != 1 || scenarios["kill@50%"] != 1 {
+		t.Fatalf("scenario coverage wrong: %v", scenarios)
+	}
+	for _, rw := range r.Rows {
+		if rw.Scenario == "kill@50%" {
+			if rw.Quarantined != 1 || rw.ActiveIslands != rw.Islands-1 {
+				t.Fatalf("kill row did not lose exactly one island: %+v", rw)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back IslandsResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(r.Rows) {
+		t.Fatalf("round-trip lost rows: %d vs %d", len(back.Rows), len(r.Rows))
+	}
+
+	var text bytes.Buffer
+	r.Format(&text)
+	if !strings.Contains(text.String(), "kill@50%") {
+		t.Fatal("Format output missing the kill scenario")
+	}
+}

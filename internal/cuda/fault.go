@@ -107,6 +107,15 @@ type FaultPlan struct {
 	// (budget overruns via WatchdogMS still fire; they are deterministic
 	// properties of the kernel, not injections).
 	MaxFaults int
+	// DieAtLaunch, when positive, kills the device permanently: every
+	// launch from the DieAtLaunch-th opportunity (0-indexed) onward fails
+	// with a sticky launch error. Because the opportunity counter keeps
+	// advancing across Device.Reset, the death persists through any number
+	// of reset-and-rebuild attempts — this is the node-loss model (a board
+	// that fell off the bus), as opposed to the recoverable transients the
+	// rates above inject. Deaths are deterministic properties of the
+	// schedule, not random injections, so they ignore MaxFaults.
+	DieAtLaunch uint64
 
 	launches uint64
 	allocs   uint64
@@ -119,7 +128,7 @@ func (p *FaultPlan) Active() bool {
 		return false
 	}
 	return p.LaunchRate > 0 || p.WatchdogRate > 0 || p.ECCRate > 0 ||
-		p.OOMRate > 0 || p.WatchdogMS > 0
+		p.OOMRate > 0 || p.WatchdogMS > 0 || p.DieAtLaunch > 0
 }
 
 // Faults returns the number of faults injected so far.
@@ -188,6 +197,10 @@ func (p *FaultPlan) budgetLeft() bool {
 func (p *FaultPlan) drawLaunch() (FaultKind, bool) {
 	i := p.launches
 	p.launches++
+	if p.DieAtLaunch > 0 && i >= p.DieAtLaunch {
+		p.faults++
+		return FaultLaunch, true
+	}
 	if !p.budgetLeft() {
 		return FaultNone, false
 	}
@@ -234,7 +247,8 @@ func (p *FaultPlan) drawAlloc() bool {
 // Keys: launch, watchdog, ecc, oom (per-opportunity rates in [0,1]);
 // rate (shorthand setting launch, watchdog, ecc and oom to the same value);
 // sticky (probability a fault poisons the context); watchdogms (simulated-ms
-// kernel budget); seed; max (fault budget).
+// kernel budget); seed; max (fault budget); dieat (launch opportunity at
+// which the device dies permanently).
 func ParseFaultSpec(spec string) (*FaultPlan, error) {
 	p := &FaultPlan{Seed: 1}
 	for _, kv := range strings.Split(spec, ",") {
@@ -261,6 +275,12 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 				return nil, fmt.Errorf("cuda: fault spec max %q: want non-negative integer", val)
 			}
 			p.MaxFaults = m
+		case "dieat":
+			d, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cuda: fault spec dieat %q: want launch index", val)
+			}
+			p.DieAtLaunch = d
 		case "rate", "launch", "watchdog", "ecc", "oom", "sticky", "watchdogms":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f < 0 {
@@ -286,7 +306,7 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 				p.WatchdogMS = f
 			}
 		default:
-			return nil, fmt.Errorf("cuda: fault spec key %q unknown (want rate, launch, watchdog, ecc, oom, sticky, watchdogms, seed, max)", key)
+			return nil, fmt.Errorf("cuda: fault spec key %q unknown (want rate, launch, watchdog, ecc, oom, sticky, watchdogms, seed, max, dieat)", key)
 		}
 	}
 	return p, nil

@@ -1,0 +1,56 @@
+package cuda
+
+// DevicePool owns the per-island devices of a multi-colony run. Each slot
+// holds one Device; the pool's only nontrivial operation is Respawn, the
+// reset-respawn primitive of the degraded-fleet model: replace a dead
+// island's board with a fresh one and hand the slot back to the runtime.
+//
+// A pool is not safe for concurrent use; the island runtime mutates it only
+// from its serial host phase.
+type DevicePool struct {
+	devs []*Device
+}
+
+// NewDevicePool returns a pool of n independent clones of base. Each clone
+// has private fault, allocation and ECC state (see Device.Clone), so the
+// islands can fault, reset and respawn without affecting one another.
+func NewDevicePool(base *Device, n int) *DevicePool {
+	devs := make([]*Device, n)
+	for i := range devs {
+		devs[i] = base.Clone()
+	}
+	return &DevicePool{devs: devs}
+}
+
+// PoolOf wraps caller-constructed devices — used when each slot needs its
+// own fault plan or metrics hook wired before the run starts. The slice is
+// copied; the devices are not.
+func PoolOf(devs []*Device) *DevicePool {
+	return &DevicePool{devs: append([]*Device(nil), devs...)}
+}
+
+// Size returns the number of slots.
+func (p *DevicePool) Size() int { return len(p.devs) }
+
+// Get returns the device currently occupying slot i.
+func (p *DevicePool) Get(i int) *Device { return p.devs[i] }
+
+// Respawn replaces slot i's device with a fresh, healthy clone of it and
+// returns the replacement. The old device is Reset first, dropping its
+// sticky poison, allocation accounting and ECC registry, so the clone
+// starts from a clean context. By default the replacement carries no fault
+// plan — replacement hardware is presumed healthy; pass keepFaults to
+// replay the slot's fault schedule from the start instead (a "same bad
+// rack" model). The hardware-metrics hook is preserved either way, so a
+// respawned island keeps reporting to the same registry.
+func (p *DevicePool) Respawn(i int, keepFaults bool) *Device {
+	old := p.devs[i]
+	old.Reset()
+	fresh := old.Clone()
+	fresh.Metrics = old.Metrics
+	if !keepFaults {
+		fresh.Faults = nil
+	}
+	p.devs[i] = fresh
+	return fresh
+}

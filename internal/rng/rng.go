@@ -40,6 +40,25 @@ func Seed(seed, stream uint64) LCG {
 	return LCG{state: z}
 }
 
+// islandSalt decorrelates the island-seed domain from the per-ant stream
+// domain: IslandSeed(s, k) never aliases Seed(s, k) even though both are
+// derived from the same master seed.
+const islandSalt = 0x151A4D5EED0C0107
+
+// IslandSeed derives the master RNG seed of one island of a multi-colony
+// run. It is a pure SplitMix-style function of (master, island) — not a
+// position in a shared sequential stream — which gives the order
+// independence the degraded-fleet model needs: island k's seed does not
+// depend on how many islands exist, which islands were created before it,
+// or which islands have died. An (N-1)-island run after a quarantine
+// therefore draws exactly the random numbers the same islands drew in the
+// N-island run, making degraded runs byte-reproducible given the same
+// kill point.
+func IslandSeed(master uint64, island int) uint64 {
+	g := Seed(master^islandSalt, uint64(island))
+	return g.State()
+}
+
 // Uint64 advances the generator and returns 64 random bits.
 func (g *LCG) Uint64() uint64 {
 	g.state = g.state*lcgMul + lcgInc

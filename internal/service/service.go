@@ -77,6 +77,16 @@ type Options struct {
 	// MaxUploadBytes caps an inline TSPLIB upload (default 8 MiB). The
 	// HTTP adapter also enforces it on the request body.
 	MaxUploadBytes int64
+	// JobTTL bounds how long a terminal job (done, failed or cancelled)
+	// stays pollable; after it the record is evicted and Job/Stream return
+	// ErrNotFound. Zero selects 15 minutes; negative disables TTL eviction.
+	// Queued and running jobs are never evicted.
+	JobTTL time.Duration
+	// MaxJobs caps the in-memory job map. Past it the oldest terminal jobs
+	// are evicted regardless of age. Zero selects 4096; negative disables
+	// the cap. A map full of non-terminal jobs can still exceed the cap —
+	// admission control (MaxQueueDepth) is the bound on those.
+	MaxJobs int
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -186,6 +196,8 @@ type Service struct {
 	maxQueue int
 	maxIters int
 	maxBytes int64
+	jobTTL   time.Duration
+	maxJobs  int
 	limiter  *limiter
 	now      func() time.Time
 
@@ -206,6 +218,7 @@ type Service struct {
 	jobDur    metrics.Histogram
 	streamsG  metrics.Gauge
 	cancelled metrics.Counter
+	evictedC  metrics.Counter
 }
 
 // New returns a Service over the pool. A nil pool panics — the service has
@@ -220,6 +233,8 @@ func New(opts Options) *Service {
 		maxQueue: opts.MaxQueueDepth,
 		maxIters: opts.MaxIterations,
 		maxBytes: opts.MaxUploadBytes,
+		jobTTL:   opts.JobTTL,
+		maxJobs:  opts.MaxJobs,
 		now:      opts.now,
 		jobs:     make(map[string]*job),
 	}
@@ -231,6 +246,12 @@ func New(opts Options) *Service {
 	}
 	if s.maxBytes <= 0 {
 		s.maxBytes = 8 << 20
+	}
+	if s.jobTTL == 0 {
+		s.jobTTL = 15 * time.Minute
+	}
+	if s.maxJobs == 0 {
+		s.maxJobs = 4096
 	}
 	if s.now == nil {
 		s.now = time.Now
@@ -258,6 +279,8 @@ func New(opts Options) *Service {
 			"Event streams currently open.")
 		s.cancelled = m.Counter("antgpu_service_cancels_total",
 			"Jobs cancelled by a client.")
+		s.evictedC = m.Counter("antgpu_service_jobs_evicted_total",
+			"Terminal job records evicted by the TTL or map-size cap.")
 	}
 	return s
 }
@@ -333,6 +356,7 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.evictLocked(s.now())
 	s.wg.Add(1)
 	s.mu.Unlock()
 	s.accepted.Inc()
@@ -439,9 +463,47 @@ func (s *Service) Job(id string) (JobStatus, error) {
 	return j.snapshot(), nil
 }
 
-// Jobs returns every job's status in submission order.
+// evictLocked enforces the job-retention policy: terminal jobs older than
+// the TTL go, and once the map exceeds MaxJobs the oldest terminal jobs go
+// regardless of age. Non-terminal jobs are never touched — a queued or
+// running job's status must stay reachable until it finishes. Called with
+// s.mu held; takes each job's mu briefly (lock order is always s.mu then
+// j.mu, never the reverse).
+func (s *Service) evictLocked(now time.Time) {
+	need := 0 // cap-evictions still required; TTL evictions count too
+	if s.maxJobs > 0 {
+		need = len(s.order) - s.maxJobs
+	}
+	if s.jobTTL <= 0 && need <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.status.Terminal()
+		finished := j.status.Finished
+		j.mu.Unlock()
+		if terminal && finished != nil {
+			expired := s.jobTTL > 0 && now.Sub(*finished) >= s.jobTTL
+			if expired || need > 0 {
+				delete(s.jobs, id)
+				s.evictedC.Inc()
+				need--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Jobs returns every job's status in submission order. Listing also
+// applies the retention policy, so TTL expiry is visible on an otherwise
+// idle service.
 func (s *Service) Jobs() []JobStatus {
 	s.mu.Lock()
+	s.evictLocked(s.now())
 	js := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
 		js = append(js, s.jobs[id])

@@ -654,3 +654,83 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Errorf("service recorded %d jobs, want %d", got, clients*per)
 	}
 }
+
+// TestJobRetentionCap: a capped server stays capped under churn. Terminal
+// jobs past MaxJobs are evicted oldest-first and then report ErrNotFound;
+// non-terminal jobs are never evicted, however old.
+func TestJobRetentionCap(t *testing.T) {
+	const maxJobs = 8
+	s, reg := newTestService(t, 2, -1, Options{MaxJobs: maxJobs, JobTTL: -1})
+
+	// Submitted first, so it is always the oldest record — but it stays
+	// running throughout the churn and must survive every eviction pass.
+	running, err := s.Submit(context.Background(), "c1", longJob())
+	if err != nil {
+		t.Fatalf("Submit(long): %v", err)
+	}
+	waitState(t, s, running.ID, func(j JobStatus) bool { return j.State == StateRunning })
+
+	var ids []string
+	for i := 0; i < 5*maxJobs; i++ {
+		st, err := s.Submit(context.Background(), "c1", SubmitRequest{
+			Benchmark: "att48", Iterations: 1, Params: SubmitParams{Seed: uint64(i + 1)},
+		})
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+		waitState(t, s, st.ID, JobStatus.Terminal)
+		if n := len(s.Jobs()); n > maxJobs {
+			t.Fatalf("after %d churned jobs the map holds %d records, cap is %d", i+1, n, maxJobs)
+		}
+	}
+
+	// The oldest churned jobs are gone, the newest are still pollable.
+	if _, err := s.Job(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest churned job still present: %v", err)
+	}
+	if _, err := s.Job(ids[len(ids)-1]); err != nil {
+		t.Fatalf("newest churned job evicted: %v", err)
+	}
+	// The long-running job is older than everything evicted, yet survives.
+	st, err := s.Job(running.ID)
+	if err != nil || st.State != StateRunning {
+		t.Fatalf("running job evicted or not running: %v %v", st.State, err)
+	}
+	if f := reg.Snapshot().Family("antgpu_service_jobs_evicted_total"); f == nil || f.Series[0].Value == 0 {
+		t.Fatal("eviction counter not incremented")
+	}
+
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	waitState(t, s, running.ID, JobStatus.Terminal)
+}
+
+// TestJobRetentionTTL: terminal jobs expire JobTTL after finishing, on a
+// fake clock, and expiry is visible from Jobs() without new submissions.
+func TestJobRetentionTTL(t *testing.T) {
+	cur := time.Unix(1700000000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return cur }
+	advance := func(d time.Duration) { mu.Lock(); cur = cur.Add(d); mu.Unlock() }
+
+	s, _ := newTestService(t, 2, -1, Options{JobTTL: time.Minute, MaxJobs: -1, now: clock})
+	st, err := s.Submit(context.Background(), "c1", SubmitRequest{Benchmark: "att48", Iterations: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s, st.ID, JobStatus.Terminal)
+
+	advance(59 * time.Second)
+	if n := len(s.Jobs()); n != 1 {
+		t.Fatalf("job evicted before its TTL: %d records", n)
+	}
+	advance(2 * time.Second)
+	if n := len(s.Jobs()); n != 0 {
+		t.Fatalf("job survived its TTL: %d records", n)
+	}
+	if _, err := s.Job(st.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired job lookup: %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,211 @@
+package antgpu
+
+import (
+	"context"
+	"fmt"
+
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/metrics"
+	"antgpu/internal/rng"
+	"antgpu/internal/trace"
+)
+
+// Island-runtime re-exports.
+type (
+	// IslandReport records what the island runtime did during a run:
+	// per-island faults, restarts, migrations, quarantines, and the
+	// ensemble-best trajectory. See DESIGN.md §16.
+	IslandReport = core.IslandReport
+	// IslandStats is one island's row of an IslandReport.
+	IslandStats = core.IslandStats
+	// IslandState is an island's position in the quarantine/respawn state
+	// machine (running, respawned, quarantined).
+	IslandState = core.IslandState
+)
+
+// Island states.
+const (
+	IslandRunning     = core.IslandRunning
+	IslandRespawned   = core.IslandRespawned
+	IslandQuarantined = core.IslandQuarantined
+)
+
+// IslandOptions configures SolveIslands.
+type IslandOptions struct {
+	// Islands is the number of colonies (default 4). Each runs on its own
+	// clone of Device with deterministically jittered parameters.
+	Islands int
+	// Iterations is the number of colony iterations per island (default 20).
+	Iterations int
+	// Params are the master AS parameters; zero-valued fields are filled
+	// from DefaultParams. Island 0 runs them unchanged; islands i > 0 run
+	// seeds and jittered alpha/beta/rho derived from them (see
+	// core.IslandParams).
+	Params Params
+	// Device is the simulated GPU model every island clones (default Tesla
+	// M2050).
+	Device *Device
+	// Tour selects the construction kernel (default the per-size
+	// recommendation), Pher the pheromone kernel (default atomic+shared).
+	Tour TourVersion
+	Pher PherVersion
+	// MigrationEvery is the ring-migration interval in iterations (default
+	// 10; negative disables). MigrationWeight scales the elite deposit of
+	// an accepted migrant (default: the island's ant count).
+	MigrationEvery  int
+	MigrationWeight float64
+	// StagnationIters restarts an island's trails after this many
+	// iterations without improvement (default 30; negative disables).
+	StagnationIters int
+	// Jitter is the relative half-width of per-island parameter jitter
+	// (default 0.1; negative disables).
+	Jitter float64
+	// Faults, when non-nil, is the base fault plan: each island gets a
+	// clone reseeded with its order-independent island seed, so islands
+	// fault independently but deterministically. IslandFaults overrides
+	// the plan per island (nil entries fall back to Faults); entries are
+	// cloned but used with their own seeds verbatim — the way to aim a
+	// DieAtLaunch kill at one specific island.
+	Faults       *FaultPlan
+	IslandFaults []*FaultPlan
+	// Recovery tunes each island's retry budget and backoff.
+	Recovery *RecoveryOptions
+	// Respawn resumes a dead island from its last checkpoint on a fresh
+	// healthy device (at most MaxRespawns times per island, default 1)
+	// instead of quarantining it. MinIslands (default 1) is the smallest
+	// surviving ensemble the run may degrade to.
+	Respawn     bool
+	MaxRespawns int
+	MinIslands  int
+	// Profile records every island's kernels and phases, merged onto one
+	// shared timeline returned in IslandsResult.Trace.
+	Profile bool
+	// Metrics, when non-nil, collects the per-island series (state gauge,
+	// fault/restart/migration/quarantine/respawn counters labeled by
+	// island id), per-kernel hardware counters per island, and the
+	// ensemble-best gauge.
+	Metrics *Metrics
+}
+
+// IslandsResult reports a SolveIslands run.
+type IslandsResult struct {
+	BestTour []int32
+	BestLen  int64
+	// BestIsland is the id of the island that found BestTour.
+	BestIsland int
+	// SimulatedSeconds is the fleet's simulated wall-clock: the maximum
+	// over islands of kernel time plus retry backoff.
+	SimulatedSeconds float64
+	// Report records per-island activity and the ensemble trajectory.
+	Report *IslandReport
+	// Trace holds the merged profiling timeline when Profile is set.
+	Trace *Trace
+}
+
+// SolveIslands runs an island-model multi-colony solve: N diversified
+// colonies on N cloned devices, ring migration, stagnation restarts, and
+// per-island fault recovery that survives losing islands outright (see
+// IslandOptions.Respawn and the IslandReport). Fault-free runs are
+// byte-deterministic for a fixed master seed.
+func SolveIslands(in *Instance, opts IslandOptions) (*IslandsResult, error) {
+	return SolveIslandsContext(context.Background(), in, opts)
+}
+
+// SolveIslandsContext is SolveIslands with cancellation. No panic escapes —
+// internal failures come back as errors.
+func SolveIslandsContext(ctx context.Context, in *Instance, opts IslandOptions) (res *IslandsResult, err error) {
+	if opts.Metrics != nil {
+		defer func() {
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			opts.Metrics.Counter("antgpu_solves_total", "Solve calls completed.",
+				"backend", "gpu", "algorithm", "islands", "status", status).Inc()
+		}()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("antgpu: internal error: %v", r)
+		}
+	}()
+	if in == nil {
+		return nil, fmt.Errorf("antgpu: nil instance")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	islands := opts.Islands
+	if islands <= 0 {
+		islands = 4
+	}
+	opts.Params = opts.Params.WithDefaults()
+
+	base := opts.Device
+	if base == nil {
+		base = TeslaM2050()
+	}
+	devices := make([]*Device, islands)
+	for i := range devices {
+		d := base.Clone()
+		d.Faults = islandFaultPlan(opts, i)
+		if opts.Metrics != nil {
+			d.Metrics = metrics.NewHW(opts.Metrics, d)
+		}
+		devices[i] = d
+	}
+
+	var tr *trace.Collector
+	if opts.Profile {
+		tr = trace.NewCollector()
+	}
+	var rec RecoveryOptions
+	if opts.Recovery != nil {
+		rec = *opts.Recovery
+	}
+	cfg := core.IslandConfig{
+		Iterations:      opts.Iterations,
+		Tour:            opts.Tour,
+		Pher:            opts.Pher,
+		MigrationEvery:  opts.MigrationEvery,
+		MigrationWeight: opts.MigrationWeight,
+		StagnationIters: opts.StagnationIters,
+		Jitter:          opts.Jitter,
+		Recovery:        rec,
+		Respawn:         opts.Respawn,
+		MaxRespawns:     opts.MaxRespawns,
+		MinIslands:      opts.MinIslands,
+		Tracer:          tr,
+		Metrics:         opts.Metrics,
+	}
+	r, err := core.RunIslands(ctx, devices, in, opts.Params, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &IslandsResult{
+		BestTour:         r.BestTour,
+		BestLen:          r.BestLen,
+		BestIsland:       r.BestIsland,
+		SimulatedSeconds: r.Seconds,
+		Report:           r.Report,
+		Trace:            tr,
+	}, nil
+}
+
+// islandFaultPlan resolves island i's fault plan: an explicit per-island
+// override is cloned and used verbatim; otherwise the base plan is cloned
+// and reseeded with the island's order-independent seed, so each island
+// faults on its own deterministic schedule and killing one island never
+// shifts another's.
+func islandFaultPlan(opts IslandOptions, i int) *cuda.FaultPlan {
+	if i < len(opts.IslandFaults) && opts.IslandFaults[i] != nil {
+		return opts.IslandFaults[i].Clone()
+	}
+	if opts.Faults == nil {
+		return nil
+	}
+	p := opts.Faults.Clone()
+	p.Seed = rng.IslandSeed(p.Seed, i)
+	return p
+}

@@ -1,0 +1,140 @@
+package antgpu_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"antgpu"
+)
+
+// TestSolveIslands exercises the public island facade end to end:
+// defaults, determinism, the merged trace, and the per-island metrics
+// series.
+func TestSolveIslands(t *testing.T) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := antgpu.NewMetrics()
+	opts := antgpu.IslandOptions{
+		Iterations: 8,
+		Params:     antgpu.Params{Seed: 7},
+		Profile:    true,
+		Metrics:    m,
+	}
+	res, err := antgpu.SolveIslands(in, opts)
+	if err != nil {
+		t.Fatalf("SolveIslands: %v", err)
+	}
+	if err := in.ValidTour(res.BestTour); err != nil {
+		t.Fatalf("best tour invalid: %v", err)
+	}
+	if res.BestLen <= 0 || res.SimulatedSeconds <= 0 {
+		t.Fatalf("degenerate result: len=%d secs=%g", res.BestLen, res.SimulatedSeconds)
+	}
+	if res.Report == nil || len(res.Report.Islands) != 4 {
+		t.Fatalf("want a 4-island report, got %+v", res.Report)
+	}
+	if res.BestIsland < 0 || res.BestIsland >= 4 {
+		t.Fatalf("BestIsland = %d out of range", res.BestIsland)
+	}
+	if res.Report.ActiveIslands != 4 || res.Report.Quarantined() != 0 {
+		t.Fatalf("fault-free run lost islands: %s", res.Report)
+	}
+	if len(res.Report.EnsembleBest) != 8 {
+		t.Fatalf("trajectory length %d, want 8", len(res.Report.EnsembleBest))
+	}
+
+	// The merged timeline carries every island's kernels.
+	if res.Trace == nil || res.Trace.KernelSeconds() <= 0 {
+		t.Fatal("profiling produced no merged kernel time")
+	}
+
+	// Per-island series exist with the island label, and the solves
+	// counter recorded the run under the islands algorithm label.
+	snap := m.Snapshot()
+	for _, fam := range []string{"antgpu_island_state", "antgpu_island_migrations_total", "antgpu_islands_best_length"} {
+		if snap.Family(fam) == nil {
+			t.Fatalf("metric family %s missing", fam)
+		}
+	}
+	if f := snap.Family("antgpu_island_state"); len(f.Series) != 4 {
+		t.Fatalf("antgpu_island_state has %d series, want 4", len(f.Series))
+	}
+	solves := snap.Family("antgpu_solves_total")
+	if solves == nil || len(solves.Series) == 0 ||
+		solves.Series[0].Labels["algorithm"] != "islands" || solves.Series[0].Value != 1 {
+		t.Fatalf("solves counter not recorded: %+v", solves)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if errs := antgpu.LintMetrics(&buf); len(errs) != 0 {
+		t.Fatalf("island metrics fail exposition lint: %v", errs)
+	}
+
+	// Same options, same bytes.
+	res2, err := antgpu.SolveIslands(in, antgpu.IslandOptions{Iterations: 8, Params: antgpu.Params{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BestLen != res.BestLen || !reflect.DeepEqual(res2.BestTour, res.BestTour) {
+		t.Fatal("facade island runs are not deterministic")
+	}
+}
+
+// TestSolveIslandsDegraded: a per-island DieAtLaunch kill flows through
+// the facade — the run completes on the surviving islands and the report
+// records the quarantine.
+func TestSolveIslandsDegraded(t *testing.T) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := antgpu.SolveIslands(in, antgpu.IslandOptions{
+		Iterations:   8,
+		Params:       antgpu.Params{Seed: 7},
+		IslandFaults: []*antgpu.FaultPlan{nil, {DieAtLaunch: 9}},
+	})
+	if err != nil {
+		t.Fatalf("SolveIslands: %v", err)
+	}
+	if err := in.ValidTour(res.BestTour); err != nil {
+		t.Fatalf("best tour invalid: %v", err)
+	}
+	st := res.Report.Islands[1]
+	if !st.Quarantined || st.State != antgpu.IslandQuarantined.String() {
+		t.Fatalf("island 1 not quarantined: %+v", st)
+	}
+	if res.Report.ActiveIslands != 3 {
+		t.Fatalf("ActiveIslands = %d, want 3", res.Report.ActiveIslands)
+	}
+
+	// Respawn instead: the same kill keeps all 4 islands active.
+	res2, err := antgpu.SolveIslands(in, antgpu.IslandOptions{
+		Iterations:   8,
+		Params:       antgpu.Params{Seed: 7},
+		IslandFaults: []*antgpu.FaultPlan{nil, {DieAtLaunch: 9}},
+		Respawn:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Islands[1].Respawns != 1 || res2.Report.ActiveIslands != 4 {
+		t.Fatalf("respawn path: %+v", res2.Report.Islands[1])
+	}
+}
+
+// TestSolveIslandsValidation: facade-level input errors come back as
+// errors, not panics.
+func TestSolveIslandsValidation(t *testing.T) {
+	if _, err := antgpu.SolveIslands(nil, antgpu.IslandOptions{}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	in, _ := antgpu.LoadBenchmark("att48")
+	if _, err := antgpu.SolveIslands(in, antgpu.IslandOptions{Params: antgpu.Params{Alpha: -1}}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
