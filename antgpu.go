@@ -33,13 +33,16 @@ package antgpu
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
 	"antgpu/internal/metrics"
 	"antgpu/internal/sched"
+	"antgpu/internal/tensor"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
@@ -156,6 +159,13 @@ const (
 	BackendCPU Backend = iota
 	// BackendGPU runs the paper's kernels on the simulated device.
 	BackendGPU
+	// BackendTensor runs the host-native tensorized engine: the whole
+	// colony iteration as flat float32 matrix kernels with a precomputed
+	// weight matrix, fused evaporate+deposit and cumulative-sum roulette.
+	// Same seed determinism contract as the CPU colony; tour lengths stay
+	// exact int64, only selection probabilities are float32 (DESIGN §17).
+	// Supports AS (with local search), ACS and MMAS.
+	BackendTensor
 )
 
 // String returns the backend's short name, used as a metric label value.
@@ -165,6 +175,8 @@ func (b Backend) String() string {
 		return "cpu"
 	case BackendGPU:
 		return "gpu"
+	case BackendTensor:
+		return "tensor"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -367,9 +379,11 @@ func gpuDevice(opts SolveOptions) *Device {
 
 // derivedData fetches the shared instance-derived data from the batch
 // cache, or nil for a standalone solve (engines then compute their own).
-func derivedData(opts SolveOptions, in *Instance, nn int) *tsp.Derived {
+// A derivation error (e.g. ErrF32Precision for instances whose distances
+// exceed the exact float32 range) is surfaced to the caller.
+func derivedData(opts SolveOptions, in *Instance, nn int) (*tsp.Derived, error) {
 	if opts.cache == nil {
-		return nil
+		return nil, nil
 	}
 	return opts.cache.Derived(in, nn)
 }
@@ -403,7 +417,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 	opts.Params = opts.Params.WithDefaults()
 	if opts.Recovery != nil {
 		if opts.Algorithm != AlgorithmAS || opts.Backend != BackendGPU || opts.LocalSearch {
-			return nil, fmt.Errorf("antgpu: the fault-tolerant runtime supports AlgorithmAS on the GPU backend without local search")
+			return nil, fmt.Errorf("antgpu: the fault-tolerant runtime supports AlgorithmAS on the GPU backend without local search (the tensor backend checkpoints through tensor.Engine.Checkpoint/Restore instead)")
 		}
 	}
 	switch opts.Algorithm {
@@ -416,7 +430,16 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 	}
 	switch opts.Backend {
 	case BackendCPU:
-		c, err := aco.NewWithDerived(in, opts.Params, derivedData(opts, in, opts.Params.NN))
+		d, err := derivedData(opts, in, opts.Params.NN)
+		if errors.Is(err, tsp.ErrF32Precision) {
+			// The float64 colony does not consume the float32 distance
+			// matrix, so instances beyond the exact-float32 range stay
+			// solvable on the CPU backend — just without the shared cache.
+			d = nil
+		} else if err != nil {
+			return nil, err
+		}
+		c, err := aco.NewWithDerived(in, opts.Params, d)
 		if err != nil {
 			return nil, err
 		}
@@ -473,8 +496,12 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			}
 			return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr, Recovery: rep}, nil
 		}
+		d, err := derivedData(opts, in, opts.Params.NN)
+		if err != nil {
+			return nil, err
+		}
 		e, err := core.NewEngineWithOptions(dev, in, opts.Params,
-			core.EngineOptions{Derived: derivedData(opts, in, opts.Params.NN)})
+			core.EngineOptions{Derived: d})
 		if err != nil {
 			return nil, err
 		}
@@ -506,6 +533,42 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			}
 		}
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
+	case BackendTensor:
+		d, err := derivedData(opts, in, opts.Params.NN)
+		if errors.Is(err, tsp.ErrF32Precision) {
+			// Like the CPU colony, the tensor engine scores tours in exact
+			// int64 and never reads the float32 distance matrix, so it stays
+			// usable beyond the exact-float32 range — without the cache.
+			d = nil
+		} else if err != nil {
+			return nil, err
+		}
+		e, err := tensor.NewWithDerived(in, opts.Params, d)
+		if err != nil {
+			return nil, err
+		}
+		tr := newTracer(opts)
+		e.Tracer = tr
+		e.Conv = solveConv(opts, in)
+		start := time.Now()
+		var tour []int32
+		var l int64
+		if opts.LocalSearch {
+			for i := 0; i < opts.Iterations; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				e.IterateWithLocalSearch(opts.Variant)
+			}
+			tour, l = e.BestTour, e.BestLen
+		} else {
+			if tour, l, err = e.RunContext(ctx, opts.Variant, opts.Iterations); err != nil {
+				return nil, err
+			}
+		}
+		// The tensor engine runs natively on the host, so the duration is
+		// real wall-clock time, not a modelled estimate.
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: time.Since(start).Seconds(), Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}
@@ -553,6 +616,20 @@ func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, e
 			return nil, err
 		}
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
+	case BackendTensor:
+		e, err := tensor.NewMMAS(in, p)
+		if err != nil {
+			return nil, err
+		}
+		tr := newTracer(opts)
+		e.Tracer = tr
+		e.Conv = solveConv(opts, in)
+		start := time.Now()
+		tour, l, err := e.RunContext(ctx, opts.Variant, opts.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: time.Since(start).Seconds(), Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}
@@ -561,6 +638,9 @@ func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, e
 // solveVariant runs the Elitist or Rank-based Ant System on either backend
 // with the default variant parameters (e = m, w = 6).
 func solveVariant(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
+	if opts.Backend == BackendTensor {
+		return nil, fmt.Errorf("antgpu: the tensor backend supports AS, ACS and MMAS; %v is not tensorized", opts.Algorithm)
+	}
 	tr := newTracer(opts)
 	switch opts.Backend {
 	case BackendCPU:
@@ -674,6 +754,20 @@ func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, er
 			return nil, err
 		}
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
+	case BackendTensor:
+		e, err := tensor.NewACS(in, p)
+		if err != nil {
+			return nil, err
+		}
+		tr := newTracer(opts)
+		e.Tracer = tr
+		e.Conv = solveConv(opts, in)
+		start := time.Now()
+		tour, l, err := e.RunContext(ctx, opts.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: time.Since(start).Seconds(), Trace: tr}, nil
 	default:
 		return nil, fmt.Errorf("antgpu: unknown backend %d", opts.Backend)
 	}

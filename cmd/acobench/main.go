@@ -64,21 +64,25 @@ func run(args []string, stdout io.Writer) error {
 			"(e.g. rate=0.02,seed=7) and compare against the fault-free run")
 		metricsMode = fs.Bool("metrics", false, "run an instrumented batch, lint the Prometheus exposition, and print it "+
 			"(non-zero exit on lint violations — the CI telemetry gate)")
-		batch     = fs.Bool("batch", false, "batch-scheduler throughput benchmark: concurrent SolveBatch vs sequential solves")
-		batchJSON = fs.String("batchjson", "", "with -batch, also write the result as JSON (the BENCH_batch.json trajectory)")
-		workers   = fs.Int("workers", 0, "with -batch, worker goroutines (0 = GOMAXPROCS)")
-		seeds     = fs.Int("seeds", 0, "with -batch, independent seeds per instance (0 = default)")
-		iters     = fs.Int("iters", 0, "with -batch, AS iterations per solve (0 = default)")
-		hostbench = fs.Bool("hostbench", false, "host-performance harness: scalar vs warp-vector path, ns per simulated lane-op")
-		hostJSON  = fs.String("hostjson", "BENCH_hostperf.json", "with -hostbench, write the result as JSON to this path (empty = skip)")
-		hostInst  = fs.String("hostinstance", "", "with -hostbench, instance to benchmark on (empty = default)")
-		hostReps  = fs.Int("hostrepeats", 0, "with -hostbench, timed launches per kernel per path (0 = default)")
+		batch       = fs.Bool("batch", false, "batch-scheduler throughput benchmark: concurrent SolveBatch vs sequential solves")
+		batchJSON   = fs.String("batchjson", "", "with -batch, also write the result as JSON (the BENCH_batch.json trajectory)")
+		workers     = fs.Int("workers", 0, "with -batch, worker goroutines (0 = GOMAXPROCS)")
+		seeds       = fs.Int("seeds", 0, "with -batch, independent seeds per instance (0 = default)")
+		iters       = fs.Int("iters", 0, "with -batch, AS iterations per solve (0 = default)")
+		hostbench   = fs.Bool("hostbench", false, "host-performance harness: scalar vs warp-vector path, ns per simulated lane-op")
+		hostJSON    = fs.String("hostjson", "BENCH_hostperf.json", "with -hostbench, write the result as JSON to this path (empty = skip)")
+		hostInst    = fs.String("hostinstance", "", "with -hostbench, instance to benchmark on (empty = default)")
+		hostReps    = fs.Int("hostrepeats", 0, "with -hostbench, timed launches per kernel per path (0 = default)")
 		islands     = fs.Bool("islands", false, "island-ensemble benchmark: quality and wall-clock vs island count and fault pressure, incl. a kill-island-at-50% scenario")
 		islandsJSON = fs.String("islandsjson", "BENCH_islands.json", "with -islands, write the result as JSON to this path (empty = skip)")
 		islandIters = fs.Int("islanditers", 0, "with -islands, iterations per island (0 = default)")
 		islandRate  = fs.Float64("islandrate", 0, "with -islands, per-launch fault rate of the faulty scenario (0 = default)")
-		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		tensorBench = fs.Bool("tensor", false, "tensor-engine benchmark: ns/ant-step and end-to-end throughput vs the CPU colony and the warp-vector simulator")
+		tensorJSON  = fs.String("tensorjson", "BENCH_tensor.json", "with -tensor, write the result as JSON to this path (empty = skip)")
+		tensorIters = fs.Int("tensoriters", 0, "with -tensor, AS iterations per engine (0 = default)")
+		tensorGate  = fs.String("tensorgate", "", "run a CPU-vs-tensor smoke sweep and fail if the tensor speedup regresses >20% against this baseline JSON (the CI perf gate)")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +131,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *islands {
 		return runIslands(stdout, *islandsJSON, *islandIters, *islandRate)
+	}
+	if *tensorBench {
+		return runTensorBench(stdout, *tensorJSON, *tensorIters)
+	}
+	if *tensorGate != "" {
+		return runTensorGate(stdout, *tensorGate, *tensorIters)
 	}
 	if !*all && *table == "" && *figure == "" && *ablate == "" && *quality == 0 && *converge == "" {
 		fs.Usage()
@@ -377,6 +387,59 @@ func runIslands(stdout io.Writer, jsonPath string, iters int, rate float64) erro
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
 	}
+	return nil
+}
+
+// runTensorBench sweeps the tensor engine against the CPU colony and the
+// warp-vector simulator across the TSPLIB benchmarks and writes the
+// BENCH_tensor.json artifact.
+func runTensorBench(stdout io.Writer, jsonPath string, iters int) error {
+	r, err := bench.Tensor(bench.TensorConfig{Iterations: iters})
+	if err != nil {
+		return err
+	}
+	r.Format(stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runTensorGate reruns a CPU-vs-tensor sweep (no simulator column — the
+// gate only needs the speedup ratio) and fails if any instance's tensor
+// speedup fell more than 20% below the committed baseline. The ratio of
+// two same-process wall-clocks transfers across machines where raw
+// ns/ant-step would not.
+func runTensorGate(stdout io.Writer, baselinePath string, iters int) error {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseline, err := bench.ReadTensorResult(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	current, err := bench.Tensor(bench.TensorConfig{Iterations: iters, SkipSim: true})
+	if err != nil {
+		return err
+	}
+	current.Format(stdout)
+	if err := bench.CompareTensor(baseline, current, 0.20); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tensor gate passed against %s\n", baselinePath)
 	return nil
 }
 

@@ -18,6 +18,16 @@
 // a remote antgpud drains on SIGTERM — submits a final wave, drains the
 // service, and reports how many of those in-flight jobs completed versus
 // dropped; the acceptance bar is zero dropped.
+//
+// With -rate the harness switches from closed-loop to a fixed-rate
+// open-loop schedule: request i is due at start + i/rate, a client sleeps
+// until then if it is early, and the corrected job latency is measured
+// from that intended send time rather than the actual one. A closed-loop
+// harness under-reports tail latency by coordinated omission — when every
+// client is stuck inside a slow request, the load it would have offered is
+// silently omitted and the delay those requests would have seen never
+// enters the histogram. The legacy columns (measured from actual send) are
+// kept alongside for comparison with earlier BENCH_service.json files.
 package main
 
 import (
@@ -51,20 +61,29 @@ func main() {
 
 // report is the BENCH_service.json schema.
 type report struct {
-	Benchmark     string        `json:"benchmark"` // always "service"
-	Instance      string        `json:"instance"`
-	Iterations    int           `json:"iterations"`
-	Clients       int           `json:"clients"`
-	Requests      int           `json:"requests"`
-	Completed     int           `json:"completed"`
-	Failed        int           `json:"failed"`
-	Rejected429   int64         `json:"rejected_429"`
-	Streamed      int64         `json:"streamed"`
-	WallSeconds   float64       `json:"wall_seconds"`
-	ThroughputRPS float64       `json:"throughput_rps"`
-	JobLatency    latencySum    `json:"job_latency_seconds"`
-	SubmitLatency latencySum    `json:"submit_latency_seconds"`
-	Drain         *drainSummary `json:"drain,omitempty"`
+	Benchmark     string  `json:"benchmark"` // always "service"
+	Instance      string  `json:"instance"`
+	Iterations    int     `json:"iterations"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	Rejected429   int64   `json:"rejected_429"`
+	Streamed      int64   `json:"streamed"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ScheduledRPS is the -rate open-loop schedule; zero means the legacy
+	// closed-loop mode, where CorrectedJobLatency is absent.
+	ScheduledRPS float64 `json:"scheduled_rps,omitempty"`
+	// JobLatency and SubmitLatency are measured from the actual send — the
+	// legacy columns, subject to coordinated omission under overload.
+	JobLatency    latencySum `json:"job_latency_seconds"`
+	SubmitLatency latencySum `json:"submit_latency_seconds"`
+	// CorrectedJobLatency is measured from each request's intended send
+	// time on the fixed-rate schedule — the coordinated-omission-corrected
+	// view of the same jobs.
+	CorrectedJobLatency *latencySum   `json:"corrected_job_latency_seconds,omitempty"`
+	Drain               *drainSummary `json:"drain,omitempty"`
 }
 
 type latencySum struct {
@@ -124,7 +143,10 @@ func run(args []string, stdout io.Writer) error {
 	body := fmt.Sprintf(`{"benchmark":%q,"iterations":%d}`, *f.bench, *f.iters)
 
 	// The measured phase: clients pull request indices off a shared counter
-	// until the budget is spent.
+	// until the budget is spent. With -rate, each index carries an intended
+	// send time on the fixed-rate schedule; a client that falls behind does
+	// not sleep, and the corrected latency keeps counting from the time the
+	// request should have been sent.
 	var (
 		next     atomic.Int64
 		rejected atomic.Int64
@@ -132,9 +154,14 @@ func run(args []string, stdout io.Writer) error {
 		mu       sync.Mutex
 		jobLats  []float64
 		subLats  []float64
+		corLats  []float64
 		failures []string
 	)
 	start := time.Now()
+	var pc *pacer
+	if *f.rate > 0 {
+		pc = newPacer(start, *f.rate)
+	}
 	var wg sync.WaitGroup
 	for c := 0; c < *f.clients; c++ {
 		wg.Add(1)
@@ -147,11 +174,18 @@ func run(args []string, stdout io.Writer) error {
 				rej429: &rejected,
 			}
 			for {
-				i := next.Add(1)
-				if i > int64(*f.requests) {
+				i := next.Add(1) - 1
+				if i >= int64(*f.requests) {
 					return
 				}
-				useSSE := *f.sseEvery > 0 && i%int64(*f.sseEvery) == 0
+				var intended time.Time
+				if pc != nil {
+					intended = pc.intended(i)
+					if d := time.Until(intended); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				useSSE := *f.sseEvery > 0 && (i+1)%int64(*f.sseEvery) == 0
 				jobLat, subLat, err := cl.solve(body, useSSE)
 				mu.Lock()
 				if err != nil {
@@ -159,6 +193,9 @@ func run(args []string, stdout io.Writer) error {
 				} else {
 					jobLats = append(jobLats, jobLat.Seconds())
 					subLats = append(subLats, subLat.Seconds())
+					if pc != nil {
+						corLats = append(corLats, time.Since(intended).Seconds())
+					}
 				}
 				mu.Unlock()
 				if err == nil && useSSE {
@@ -178,6 +215,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	rep.JobLatency = summarise(jobLats)
 	rep.SubmitLatency = summarise(subLats)
+	if pc != nil {
+		rep.ScheduledRPS = *f.rate
+		cs := summarise(corLats)
+		rep.CorrectedJobLatency = &cs
+	}
 	for i, msg := range failures {
 		if i == 5 {
 			fmt.Fprintf(stdout, "acoload: ... and %d more failures\n", len(failures)-5)
@@ -200,6 +242,11 @@ func run(args []string, stdout io.Writer) error {
 		rep.Completed, rep.Requests, rep.WallSeconds, rep.ThroughputRPS, rep.Rejected429, rep.Streamed)
 	fmt.Fprintf(stdout, "acoload: job latency p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
 		rep.JobLatency.P50, rep.JobLatency.P95, rep.JobLatency.P99, rep.JobLatency.Max)
+	if rep.CorrectedJobLatency != nil {
+		l := rep.CorrectedJobLatency
+		fmt.Fprintf(stdout, "acoload: corrected (from intended send at %.1f req/s) p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
+			rep.ScheduledRPS, l.P50, l.P95, l.P99, l.Max)
+	}
 	if rep.Drain != nil {
 		fmt.Fprintf(stdout, "acoload: drain completed %d/%d in-flight jobs, %d dropped\n",
 			rep.Drain.Completed, rep.Drain.InFlight, rep.Drain.Dropped)
@@ -237,6 +284,7 @@ type flags struct {
 	maxQueue  *int
 	sseEvery  *int
 	drainWave *int
+	rate      *float64
 	jsonOut   *string
 }
 
@@ -254,8 +302,34 @@ func newFlags() *flags {
 		sseEvery: fs.Int("sse-every", 4, "follow every Nth request over SSE instead of polling (0 = never)"),
 		drainWave: fs.Int("drainwave", 16, "in-flight jobs submitted before the graceful-drain check "+
 			"(self-hosted mode; 0 = skip)"),
+		rate: fs.Float64("rate", 0, "offered load in requests/second on a fixed open-loop schedule; "+
+			"latency is additionally measured from each request's intended send time, correcting "+
+			"for coordinated omission (0 = legacy closed-loop)"),
 		jsonOut: fs.String("json", "", "write the benchmark report to this file (e.g. BENCH_service.json)"),
 	}
+}
+
+// pacer maps request indices to their intended send times on a fixed-rate
+// open-loop schedule: request i is due at start + i/rate. Latency measured
+// from the intended time instead of the actual send corrects for
+// coordinated omission — in a closed-loop harness a slow request silently
+// suppresses the requests that were due while every client was blocked,
+// so exactly the intervals that should dominate the tail never produce a
+// sample.
+type pacer struct {
+	start    time.Time
+	interval time.Duration
+}
+
+func newPacer(start time.Time, rps float64) *pacer {
+	return &pacer{start: start, interval: time.Duration(float64(time.Second) / rps)}
+}
+
+// intended returns the schedule's send time for the i-th request
+// (0-based). The schedule is fixed at start: a backlog never shifts the
+// due times of later requests.
+func (p *pacer) intended(i int64) time.Time {
+	return p.start.Add(time.Duration(i) * p.interval)
 }
 
 // client drives one load-generation client identity.

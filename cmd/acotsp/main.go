@@ -41,7 +41,7 @@ func run(args []string, stdout io.Writer) error {
 		benchName = fs.String("bench", "", "paper benchmark instance name (att48 ... pr2392)")
 		file      = fs.String("file", "", "TSPLIB file to solve instead of a named benchmark")
 		iters     = fs.Int("iters", 20, "Ant System iterations")
-		backend   = fs.String("backend", "cpu", "cpu or gpu (simulated)")
+		backend   = fs.String("backend", "cpu", "cpu, gpu (simulated) or tensor (float32 host engine)")
 		device    = fs.String("device", "m2050", "simulated device: c1060 or m2050")
 		tourV     = fs.Int("tour", 0, "tour construction version 1-8 (0 = auto)")
 		pherV     = fs.Int("pher", 0, "pheromone update version 1-5 (0 = atomic+shared)")
@@ -53,11 +53,11 @@ func run(args []string, stdout io.Writer) error {
 		ls        = fs.Bool("ls", false, "apply 2-opt local search to every ant's tour (AS only)")
 		runs      = fs.Int("runs", 1, "independent runs with consecutive seeds, best-of (AS; "+
 			"the gpu backend schedules them concurrently)")
-		workers   = fs.Int("workers", 0, "worker goroutines for -runs on the gpu backend (0 = GOMAXPROCS)")
-		tourOut   = fs.String("tourout", "", "write the best tour to this TSPLIB .tour file")
-		profile   = fs.Bool("profile", false, "profile every kernel launch and phase; print the per-kernel summary")
-		traceOut  = fs.String("traceout", "", "write the profile as Chrome trace-event JSON (implies -profile)")
-		inject    = fs.String("inject", "", "inject deterministic device faults, e.g. rate=0.02,sticky=0.1,seed=7 "+
+		workers  = fs.Int("workers", 0, "worker goroutines for -runs on the gpu backend (0 = GOMAXPROCS)")
+		tourOut  = fs.String("tourout", "", "write the best tour to this TSPLIB .tour file")
+		profile  = fs.Bool("profile", false, "profile every kernel launch and phase; print the per-kernel summary")
+		traceOut = fs.String("traceout", "", "write the profile as Chrome trace-event JSON (implies -profile)")
+		inject   = fs.String("inject", "", "inject deterministic device faults, e.g. rate=0.02,sticky=0.1,seed=7 "+
 			"(gpu backend; AS recovers via checkpoint/retry/CPU-failover, other algorithms fail fast)")
 		metricsOut = fs.String("metricsout", "", "write the solve's Prometheus metrics exposition to this file "+
 			"(\"-\" for stdout): kernel hardware counters, convergence gauges, solve outcomes")
@@ -65,6 +65,11 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *backend {
+	case "cpu", "gpu", "tensor":
+	default:
+		return fmt.Errorf("unknown backend %q (want cpu, gpu or tensor)", *backend)
 	}
 	if *traceOut != "" {
 		*profile = true
@@ -144,6 +149,10 @@ func run(args []string, stdout io.Writer) error {
 			opts.MMAS = mmas
 		}
 		clock := "modelled CPU"
+		if *backend == "tensor" {
+			opts.Backend = antgpu.BackendTensor
+			clock = "host wall-clock"
+		}
 		if *backend == "gpu" {
 			opts.Backend = antgpu.BackendGPU
 			opts.Faults = faults
@@ -161,6 +170,33 @@ func run(args []string, stdout io.Writer) error {
 		}
 		reportRecovery(stdout, res.Recovery)
 		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, clock); err != nil {
+			return err
+		}
+		return emitProfile(stdout, res.Trace, *traceOut)
+	}
+
+	if *backend == "tensor" {
+		if *runs > 1 {
+			return fmt.Errorf("-runs is not supported with -backend tensor (use the batch API)")
+		}
+		if *iterLog {
+			return fmt.Errorf("-trace is not supported with -backend tensor")
+		}
+		v := aco.NNListConstruction
+		if *variant == "full" {
+			v = aco.FullProbabilistic
+		}
+		res, err := antgpu.Solve(in, antgpu.SolveOptions{
+			Params: p, Iterations: *iters, Variant: v, Backend: antgpu.BackendTensor,
+			LocalSearch: *ls, Profile: *profile, Metrics: reg, Optimum: *optimum,
+		})
+		if err != nil {
+			return err
+		}
+		if err := report(stdout, in, res.BestTour, res.BestLen, res.SimulatedSeconds, "host wall-clock"); err != nil {
+			return err
+		}
+		if err := writeTour(stdout, *tourOut, in, res.BestTour); err != nil {
 			return err
 		}
 		return emitProfile(stdout, res.Trace, *traceOut)

@@ -1,0 +1,89 @@
+package antgpu_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"antgpu"
+)
+
+// TestCrossEngineMatrix sweeps the full backend × algorithm × seed matrix
+// — CPU reference colony, simulated GPU, tensor engine × {AS, ACS, MMAS}
+// × two seeds — through the public facade and checks, for every cell:
+// the tour is valid, the reported length is the tour's exact length, and
+// an identical rerun reproduces the result bit for bit. Across backends
+// of the same (algorithm, seed) cell the best lengths must stay within a
+// 40% band: the three engines sample different float precisions of the
+// same distribution, which bounds quality drift but not trajectories
+// (DESIGN §17), and ten iterations leave real trajectory variance. CI
+// runs this test under -race, so it also exercises each engine's internal
+// state for data races.
+func TestCrossEngineMatrix(t *testing.T) {
+	in, err := antgpu.LoadBenchmark("att48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		b    antgpu.Backend
+	}{
+		{"cpu", antgpu.BackendCPU},
+		{"gpu", antgpu.BackendGPU},
+		{"tensor", antgpu.BackendTensor},
+	}
+	algorithms := []struct {
+		name string
+		a    antgpu.Algorithm
+	}{
+		{"as", antgpu.AlgorithmAS},
+		{"acs", antgpu.AlgorithmACS},
+		{"mmas", antgpu.AlgorithmMMAS},
+	}
+	for _, seed := range []uint64{1, 7} {
+		for _, alg := range algorithms {
+			lens := map[string]int64{}
+			for _, be := range backends {
+				cell := fmt.Sprintf("%s/%s/seed%d", be.name, alg.name, seed)
+				t.Run(cell, func(t *testing.T) {
+					opts := antgpu.SolveOptions{
+						Algorithm:  alg.a,
+						Iterations: 10,
+						Backend:    be.b,
+						Params:     antgpu.Params{Seed: seed},
+					}
+					res, err := antgpu.Solve(in, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := in.ValidTour(res.BestTour); err != nil {
+						t.Fatalf("best tour invalid: %v", err)
+					}
+					if got := in.TourLength(res.BestTour); got != res.BestLen {
+						t.Errorf("reported length %d, tour measures %d", res.BestLen, got)
+					}
+					again, err := antgpu.Solve(in, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if again.BestLen != res.BestLen || !reflect.DeepEqual(again.BestTour, res.BestTour) {
+						t.Errorf("rerun with the same seed diverged: %d vs %d", again.BestLen, res.BestLen)
+					}
+					lens[be.name] = res.BestLen
+				})
+			}
+			lo, hi := int64(1<<62), int64(0)
+			for _, l := range lens {
+				if l < lo {
+					lo = l
+				}
+				if l > hi {
+					hi = l
+				}
+			}
+			if len(lens) == len(backends) && float64(hi) > 1.4*float64(lo) {
+				t.Errorf("%s seed %d: backend quality spread %v exceeds the 40%% band", alg.name, seed, lens)
+			}
+		}
+	}
+}

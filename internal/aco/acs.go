@@ -182,13 +182,9 @@ func (a *ACS) chooseNext(cur int, g *rng.LCG, mtr *Meter) int {
 	if sum > 0 {
 		r := g.Float64() * sum
 		mtr.RNG++
-		acc := 0.0
-		for k := 0; k < nn; k++ {
-			acc += c.probs[k]
-			if acc >= r && c.probs[k] > 0 {
-				mtr.Ops += 3 * float64(k+1)
-				return int(list[k])
-			}
+		if k := RouletteSelect(c.probs, nn, r); k >= 0 {
+			mtr.Ops += 3 * float64(k+1)
+			return int(list[k])
 		}
 	}
 	mtr.Fallbacks++

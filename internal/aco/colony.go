@@ -261,14 +261,9 @@ func (c *Colony) constructAntFull(ant int, g *rng.LCG, mtr *Meter) {
 		if sum > 0 {
 			r := g.Float64() * sum
 			mtr.RNG++
-			acc := 0.0
-			for j := 0; j < n; j++ {
-				acc += c.probs[j]
-				if acc >= r && c.probs[j] > 0 {
-					next = j
-					mtr.Ops += 3 * float64(j+1)
-					break
-				}
+			if k := RouletteSelect(c.probs, n, r); k >= 0 {
+				next = k
+				mtr.Ops += 3 * float64(k+1)
 			}
 		}
 		if next < 0 {
@@ -318,14 +313,9 @@ func (c *Colony) constructAntNN(ant int, g *rng.LCG, mtr *Meter) {
 		if sum > 0 {
 			r := g.Float64() * sum
 			mtr.RNG++
-			acc := 0.0
-			for k := 0; k < nn; k++ {
-				acc += c.probs[k]
-				if acc >= r && c.probs[k] > 0 {
-					next = int(list[k])
-					mtr.Ops += 3 * float64(k+1)
-					break
-				}
+			if k := RouletteSelect(c.probs, nn, r); k >= 0 {
+				next = int(list[k])
+				mtr.Ops += 3 * float64(k+1)
 			}
 		}
 		if next < 0 {

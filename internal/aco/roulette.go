@@ -1,0 +1,31 @@
+package aco
+
+// RouletteSelect picks the first index k whose running cumulative sum over
+// probs[:count] reaches r, skipping zero-probability slots. It is the one
+// roulette-wheel scan every host-side construction path shares.
+//
+// The classic failure of this scan is the r == total edge: the caller
+// computes r = u·Σprobs from its own summation, and when rounding (or a
+// float32 upstream) makes r land at — or just beyond — the scan's own
+// running total, a naive scan walks off the end and either emits an
+// arbitrary slot or forces the caller into a fallback with a different
+// distribution. RouletteSelect instead falls back to the last
+// positive-probability slot, which is the limit the roulette distribution
+// itself assigns to r → total. It returns -1 only when no slot has positive
+// probability.
+func RouletteSelect(probs []float64, count int, r float64) int {
+	acc := 0.0
+	last := -1
+	for k := 0; k < count; k++ {
+		p := probs[k]
+		if p <= 0 {
+			continue
+		}
+		last = k
+		acc += p
+		if acc >= r {
+			return k
+		}
+	}
+	return last
+}

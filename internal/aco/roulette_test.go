@@ -1,0 +1,68 @@
+package aco
+
+import "testing"
+
+// TestRouletteSelectRTotalEdge: the classic r == total edge. The caller
+// computes r = u·sum from its own accumulation; adversarial weights whose
+// cumulative sum rounds below that r made the pre-fix scan (no last-valid
+// fallback) walk off the end and select nothing, diverting the choice
+// through the greedy fallback with a different distribution. The fixed scan
+// must return the last positive slot.
+func TestRouletteSelectRTotalEdge(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.3}
+	// r strictly beyond the scan's own total: only the fallback can answer.
+	if got := RouletteSelect(probs, len(probs), 0.7); got != 2 {
+		t.Errorf("overshooting r selected %d, want last positive slot 2", got)
+	}
+	// r exactly at the total must also terminate inside the scan.
+	total := 0.1 + 0.2 + 0.3
+	if got := RouletteSelect(probs, len(probs), total); got != 2 {
+		t.Errorf("r == total selected %d, want 2", got)
+	}
+}
+
+// TestRouletteSelectSkipsZeroSlots: a zero draw (r == 0) must not select a
+// zero-probability slot even when it leads the row — the failure the
+// unguarded float32 kernel scan exhibited.
+func TestRouletteSelectSkipsZeroSlots(t *testing.T) {
+	probs := []float64{0, 0, 0.5, 0.5}
+	if got := RouletteSelect(probs, len(probs), 0); got != 2 {
+		t.Errorf("r = 0 selected slot %d, want first positive slot 2", got)
+	}
+	// Trailing zeros must never win via the fallback either.
+	probs = []float64{0.5, 0, 0}
+	if got := RouletteSelect(probs, len(probs), 2.0); got != 0 {
+		t.Errorf("overshooting r selected %d, want last positive slot 0", got)
+	}
+}
+
+// TestRouletteSelectNoPositiveSlot: with no positive probability anywhere
+// the scan reports -1 and the caller's feasibility fallback takes over.
+func TestRouletteSelectNoPositiveSlot(t *testing.T) {
+	probs := []float64{0, 0, 0}
+	if got := RouletteSelect(probs, len(probs), 0.5); got != -1 {
+		t.Errorf("all-zero row selected %d, want -1", got)
+	}
+	if got := RouletteSelect(nil, 0, 0.5); got != -1 {
+		t.Errorf("empty row selected %d, want -1", got)
+	}
+}
+
+// TestRouletteSelectMatchesNaiveScanOnNormalRows: on well-behaved rows the
+// fixed scan is the plain cumulative-sum scan — the fallback must not
+// change any selection the old code got right.
+func TestRouletteSelectMatchesNaiveScanOnNormalRows(t *testing.T) {
+	probs := []float64{0.25, 0, 0.5, 0.125, 0.125}
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0, 0}, {0.2, 0}, {0.25, 0}, {0.3, 2}, {0.74, 2}, {0.75, 2},
+		{0.8, 3}, {0.875, 3}, {0.9, 4}, {1.0, 4},
+	}
+	for _, c := range cases {
+		if got := RouletteSelect(probs, len(probs), c.r); got != c.want {
+			t.Errorf("RouletteSelect(r=%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}

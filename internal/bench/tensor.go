@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/core"
+	"antgpu/internal/cuda"
+	"antgpu/internal/tensor"
+	"antgpu/internal/tsp"
+)
+
+// TensorConfig controls the tensor-engine benchmark: host wall-clock of
+// the tensorized float32 engine against the float64 reference colony and
+// the warp-vector SIMT simulator, across the TSPLIB sweep.
+type TensorConfig struct {
+	// Instances to sweep; empty selects the paper's benchmarks up to
+	// pr1002 (pr2392 multiplies the suite's runtime for no extra signal).
+	Instances []string
+	// Iterations per engine per instance; zero selects 5.
+	Iterations int
+	// Seed for all three engines; zero selects 1.
+	Seed uint64
+	// SkipSim skips the simulator column (the slowest engine by far) —
+	// used by the CI regression gate, which only compares tensor vs CPU.
+	SkipSim bool
+}
+
+func (c TensorConfig) withDefaults() TensorConfig {
+	if len(c.Instances) == 0 {
+		c.Instances = []string{"att48", "kroC100", "a280", "pcb442", "d657", "pr1002"}
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TensorRow is one instance's three-way measurement. An ant-step is one
+// city selection by one ant: iterations·m·(n-1) of them per run, the same
+// for every engine, so ns/ant-step is directly comparable across columns.
+type TensorRow struct {
+	Instance   string `json:"instance"`
+	N          int    `json:"n"`
+	Ants       int    `json:"ants"`
+	Iterations int    `json:"iterations"`
+
+	CPUWallMs    float64 `json:"cpu_wall_ms"`
+	TensorWallMs float64 `json:"tensor_wall_ms"`
+	SimWallMs    float64 `json:"sim_wall_ms,omitempty"`
+
+	CPUNsPerAntStep    float64 `json:"cpu_ns_per_ant_step"`
+	TensorNsPerAntStep float64 `json:"tensor_ns_per_ant_step"`
+	SimNsPerAntStep    float64 `json:"sim_ns_per_ant_step,omitempty"`
+
+	// TensorStepsPerSec is the end-to-end construction throughput of the
+	// tensor engine in ant-steps per second.
+	TensorStepsPerSec float64 `json:"tensor_steps_per_sec"`
+
+	// SpeedupVsCPU = CPU wall / tensor wall (the acceptance headline);
+	// SpeedupVsSim = simulator host wall / tensor wall.
+	SpeedupVsCPU float64 `json:"speedup_vs_cpu"`
+	SpeedupVsSim float64 `json:"speedup_vs_sim,omitempty"`
+
+	// Best lengths, to show the float32 engine optimises comparably.
+	CPUBest    int64 `json:"cpu_best"`
+	TensorBest int64 `json:"tensor_best"`
+}
+
+// TensorResult is the sweep, shaped for BENCH_tensor.json.
+type TensorResult struct {
+	Iterations int         `json:"iterations"`
+	Seed       uint64      `json:"seed"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Rows       []TensorRow `json:"rows"`
+}
+
+// Tensor benchmarks the tensor engine end to end against the CPU colony
+// and (unless skipped) the warp-vector simulator, in two parameter
+// classes. The first is the paper's benchmark setup: m = n ants, all three
+// engines. The second, run on the larger instances and labelled "/m25", is
+// ACOTSP's default colony size of 25 ants — the regime the tensorized
+// reformulation targets: with few ants the colony's per-iteration
+// choice-info recomputation (2n² math.Pow) dominates its wall-clock, and
+// that is exactly the stage the tensor engine's incremental weight
+// maintenance eliminates. Wall-clock is host time for all engines (the
+// simulator column, m = n rows only, is the host cost of simulating, not
+// the modelled device time).
+func Tensor(cfg TensorConfig) (*TensorResult, error) {
+	cfg = cfg.withDefaults()
+	res := &TensorResult{
+		Iterations: cfg.Iterations,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, name := range cfg.Instances {
+		in, err := tsp.LoadBenchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := tensorRow(in, name, 0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		if in.N() >= 280 {
+			row, err := tensorRow(in, name+"/m25", 25, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// tensorRow measures one (instance, ant-count) configuration; ants = 0
+// keeps the paper's m = n. The simulator column only runs for the m = n
+// class — the simulated kernels launch one thread block per ant, so the
+// few-ant configuration is not a shape the paper's kernels cover.
+func tensorRow(in *tsp.Instance, label string, ants int, cfg TensorConfig) (TensorRow, error) {
+	p := aco.DefaultParams()
+	p.Seed = cfg.Seed
+	p.Ants = ants
+	row := TensorRow{
+		Instance:   label,
+		N:          in.N(),
+		Ants:       p.AntCount(in.N()),
+		Iterations: cfg.Iterations,
+	}
+	antSteps := float64(cfg.Iterations) * float64(row.Ants) * float64(in.N()-1)
+
+	c, err := aco.New(in, p)
+	if err != nil {
+		return row, fmt.Errorf("%s: colony: %w", label, err)
+	}
+	start := time.Now()
+	_, cpuBest := c.Run(aco.NNListConstruction, cfg.Iterations)
+	cpuWall := time.Since(start)
+
+	e, err := tensor.New(in, p)
+	if err != nil {
+		return row, fmt.Errorf("%s: tensor: %w", label, err)
+	}
+	start = time.Now()
+	_, tenBest := e.Run(aco.NNListConstruction, cfg.Iterations)
+	tenWall := time.Since(start)
+
+	row.CPUWallMs = float64(cpuWall.Nanoseconds()) / 1e6
+	row.TensorWallMs = float64(tenWall.Nanoseconds()) / 1e6
+	row.CPUNsPerAntStep = float64(cpuWall.Nanoseconds()) / antSteps
+	row.TensorNsPerAntStep = float64(tenWall.Nanoseconds()) / antSteps
+	row.TensorStepsPerSec = antSteps / tenWall.Seconds()
+	if tenWall > 0 {
+		row.SpeedupVsCPU = float64(cpuWall) / float64(tenWall)
+	}
+	row.CPUBest, row.TensorBest = cpuBest, tenBest
+
+	if !cfg.SkipSim && ants == 0 {
+		dev := cuda.TeslaM2050()
+		g, err := core.NewEngine(dev, in, p)
+		if err != nil {
+			return row, fmt.Errorf("%s: simulator: %w", label, err)
+		}
+		tv := core.TourDataParallelTexture
+		if in.N() > 500 {
+			tv = core.TourNNSharedTexture
+		}
+		start = time.Now()
+		_, _, _, err = g.Run(tv, core.PherAtomicShared, cfg.Iterations)
+		simWall := time.Since(start)
+		g.Free()
+		if err != nil {
+			return row, fmt.Errorf("%s: simulator run: %w", label, err)
+		}
+		row.SimWallMs = float64(simWall.Nanoseconds()) / 1e6
+		row.SimNsPerAntStep = float64(simWall.Nanoseconds()) / antSteps
+		if tenWall > 0 {
+			row.SpeedupVsSim = float64(simWall) / float64(tenWall)
+		}
+	}
+	return row, nil
+}
+
+// CompareTensor gates CI on tensor-engine performance regressions: it
+// fails when the new run's tensor-vs-CPU speedup falls more than slack
+// (e.g. 0.20 for 20%) below the committed baseline on any instance both
+// runs cover. The ratio of two same-process wall-clocks is used rather
+// than raw ns/ant-step so the gate holds across machines of different
+// absolute speed.
+func CompareTensor(baseline, current *TensorResult, slack float64) error {
+	base := make(map[string]TensorRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[r.Instance] = r
+	}
+	matched := 0
+	for _, r := range current.Rows {
+		b, ok := base[r.Instance]
+		if !ok {
+			continue
+		}
+		matched++
+		floor := b.SpeedupVsCPU * (1 - slack)
+		if r.SpeedupVsCPU < floor {
+			return fmt.Errorf("tensor perf regression on %s: speedup vs CPU %.2fx, baseline %.2fx (floor %.2fx at %d%% slack)",
+				r.Instance, r.SpeedupVsCPU, b.SpeedupVsCPU, floor, int(slack*100))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("tensor gate: no instances in common between baseline and current run")
+	}
+	return nil
+}
+
+// WriteJSON writes the result as indented JSON (the BENCH_tensor.json
+// format).
+func (r *TensorResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadTensorResult parses a BENCH_tensor.json previously written with
+// WriteJSON.
+func ReadTensorResult(rd io.Reader) (*TensorResult, error) {
+	var r TensorResult
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing tensor baseline: %w", err)
+	}
+	return &r, nil
+}
+
+// Format writes a human-readable summary.
+func (r *TensorResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "tensor engine: %d iterations/engine, seed %d, GOMAXPROCS %d\n",
+		r.Iterations, r.Seed, r.GoMaxProcs)
+	fmt.Fprintf(w, "  %-10s %6s %6s %12s %12s %12s %10s %10s %12s %12s\n",
+		"instance", "n", "ants", "cpu ns/st", "tensor ns/st", "sim ns/st",
+		"vs cpu", "vs sim", "cpu best", "tensor best")
+	for _, k := range r.Rows {
+		sim := "-"
+		vsSim := "-"
+		if k.SimNsPerAntStep > 0 {
+			sim = fmt.Sprintf("%.1f", k.SimNsPerAntStep)
+			vsSim = fmt.Sprintf("%.2fx", k.SpeedupVsSim)
+		}
+		fmt.Fprintf(w, "  %-10s %6d %6d %12.1f %12.1f %12s %9.2fx %10s %12d %12d\n",
+			k.Instance, k.N, k.Ants, k.CPUNsPerAntStep, k.TensorNsPerAntStep, sim,
+			k.SpeedupVsCPU, vsSim, k.CPUBest, k.TensorBest)
+	}
+}

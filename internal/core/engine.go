@@ -209,6 +209,14 @@ func NewEngineWithOptions(dev *cuda.Device, in *tsp.Instance, p aco.Params, opt 
 		copy(e.nnList.Data(), d.List)
 		cnn = d.CNN
 	} else {
+		// The device consumes float32 distances; refuse instances whose
+		// edges exceed the exact-float32 range rather than silently
+		// collapsing them (tsp.ErrF32Precision — the Derived path applies
+		// the same check inside ComputeDerived).
+		if err := in.CheckDistF32(); err != nil {
+			e.Free()
+			return nil, err
+		}
 		for i, d := range in.Matrix() {
 			e.dist.Data()[i] = float32(d)
 		}

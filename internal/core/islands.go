@@ -439,7 +439,10 @@ func RunIslands(ctx context.Context, devices []*cuda.Device, in *tsp.Instance, p
 
 	// The instance-derived data (float32 distances, NN lists, C^nn) is
 	// identical across islands; compute it once and share it read-only.
-	derived := in.ComputeDerived(p.NN)
+	derived, err := in.ComputeDerived(p.NN)
+	if err != nil {
+		return nil, err
+	}
 
 	islands := make([]*island, n)
 	for i := range islands {

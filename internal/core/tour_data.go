@@ -144,7 +144,11 @@ func (e *Engine) tourDataParallel(v TourVersion) (*cuda.LaunchResult, error) {
 						if inMask&(1<<uint(l)) != 0 {
 							r := rng.NextF32Raw(states, tid) + 1e-6
 							tb := float32((tabu[tid] >> uint(tile)) & 1)
-							valsV[l] = wv[l] * r * tb
+							// + (tb-1) sinks visited lanes to -1 so the max
+							// reduction can never crown a tabu city when every
+							// unvisited value underflows to zero; for tb = 1
+							// it adds +0.0 and leaves the value bit-identical.
+							valsV[l] = wv[l]*r*tb + (tb - 1)
 						} else {
 							valsV[l] = -1
 						}
@@ -318,7 +322,11 @@ func (e *Engine) tourDataParallel(v TourVersion) (*cuda.LaunchResult, error) {
 				tile := tile
 				// Tile phase: value = choice * random * tabu-bit. No
 				// conditional on visited status — the multiply by 0/1 is
-				// the paper's divergence-avoidance trick.
+				// the paper's divergence-avoidance trick. The + (tb-1) term
+				// sinks visited lanes to -1 (for tb = 1 it adds +0.0 and
+				// leaves the value bit-identical), so the max reduction can
+				// never crown a tabu city when every unvisited choice value
+				// underflows to zero.
 				b.Run(func(t *cuda.Thread) {
 					j := tile*threads + t.ID()
 					val := float32(-1)
@@ -331,7 +339,7 @@ func (e *Engine) tourDataParallel(v TourVersion) (*cuda.LaunchResult, error) {
 						}
 						r := rng.NextF32(t, states, t.ID()) + 1e-6
 						tb := float32((tabu[t.ID()] >> uint(tile)) & 1)
-						val = w * r * tb
+						val = w*r*tb + (tb - 1)
 						t.Charge(2*chargeMulAdd + chargeBitTabu + chargeIndex)
 					}
 					t.StShF32(vals, t.ID(), val)

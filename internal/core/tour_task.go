@@ -311,14 +311,25 @@ func (e *Engine) tourTask(v TourVersion) (*cuda.LaunchResult, error) {
 						r := draw(t, a, step) * sums[t.ID()]
 						t.Charge(chargeMulAdd)
 						acc := float32(0)
+						lastValid := -1
 						pr := probs[t.ID()]
 						for k := 0; k < nn; k++ {
 							acc += pr[k]
 							t.Charge(chargeCompare + chargeMulAdd)
-							if acc >= r && pr[k] > 0 {
-								next = int(t.LdI32(e.nnList, c*nn+k))
-								break
+							if pr[k] > 0 {
+								lastValid = k
+								if acc >= r {
+									next = int(t.LdI32(e.nnList, c*nn+k))
+									break
+								}
 							}
+						}
+						if next < 0 && lastValid >= 0 {
+							// r == total edge: float32 rounding pushed r past
+							// the scan's running sum; take the last positive
+							// slot (the distribution's own limit) instead of
+							// diverting through the greedy fallback.
+							next = int(t.LdI32(e.nnList, c*nn+lastValid))
 						}
 					}
 					if next < 0 {
@@ -385,21 +396,34 @@ func (e *Engine) tourTask(v TourVersion) (*cuda.LaunchResult, error) {
 					t.Charge(chargeMulAdd)
 					acc := float32(0)
 					next := -1
+					lastValid := -1
 					fallback := -1
 					for j := 0; j < n; j++ {
 						if visited(t, a, j) {
 							continue
 						}
 						fallback = j
-						acc += edgeValue(t, c, j)
+						v := edgeValue(t, c, j)
+						acc += v
 						t.Charge(chargeCompare + chargeMulAdd)
-						if acc >= r {
-							next = j
-							break
+						if v > 0 {
+							// Only a slot that moved the running sum may win:
+							// without the positivity guard, r == 0 (a zero
+							// draw) selects the first unvisited city even
+							// when its choice value underflowed to zero —
+							// a zero-probability emission.
+							lastValid = j
+							if acc >= r {
+								next = j
+								break
+							}
 						}
 					}
 					if next < 0 {
-						next = fallback // numeric underflow guard
+						next = lastValid // r == total edge: last positive slot
+					}
+					if next < 0 {
+						next = fallback // every unvisited value is zero
 					}
 					if next < 0 {
 						b.Failf("no feasible city in probabilistic construction for ant %d at step %d", a, step)

@@ -25,18 +25,21 @@ type cacheEntry struct {
 	mu   sync.Mutex
 	done bool
 	d    *tsp.Derived
+	err  error
 }
 
 // derived returns the entry's value, computing it under the entry lock if
-// no previous computation succeeded.
-func (e *cacheEntry) derived(compute func() *tsp.Derived) *tsp.Derived {
+// no previous computation finished. A returned error is cached alongside
+// the value: derivation errors (e.g. tsp.ErrF32Precision) are deterministic
+// properties of the instance content, so recomputing cannot clear them.
+func (e *cacheEntry) derived(compute func() (*tsp.Derived, error)) (*tsp.Derived, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.done {
-		e.d = compute()
+		e.d, e.err = compute()
 		e.done = true
 	}
-	return e.d
+	return e.d, e.err
 }
 
 // Cache memoizes instance-derived read-only data across solves. It is safe
@@ -53,7 +56,7 @@ type Cache struct {
 
 	// compute overrides tsp.Instance.ComputeDerived in tests (nil selects
 	// the real computation).
-	compute func(in *tsp.Instance, nn int) *tsp.Derived
+	compute func(in *tsp.Instance, nn int) (*tsp.Derived, error)
 }
 
 // NewCache returns an empty derived-data cache.
@@ -67,7 +70,7 @@ func NewCache() *Cache {
 // (counting nothing), so call sites need no nil checks. A computation that
 // panics does not poison the key: the panic propagates to the caller and
 // the next request for the same key recomputes.
-func (c *Cache) Derived(in *tsp.Instance, nn int) *tsp.Derived {
+func (c *Cache) Derived(in *tsp.Instance, nn int) (*tsp.Derived, error) {
 	nn = in.EffectiveNN(nn)
 	if c == nil {
 		return in.ComputeDerived(nn)
@@ -83,7 +86,7 @@ func (c *Cache) Derived(in *tsp.Instance, nn int) *tsp.Derived {
 		c.hits.Add(1)
 	}
 	c.mu.Unlock()
-	return e.derived(func() *tsp.Derived {
+	return e.derived(func() (*tsp.Derived, error) {
 		if c.compute != nil {
 			return c.compute(in, nn)
 		}

@@ -109,11 +109,11 @@ func loadInstance(t *testing.T, name string) *tsp.Instance {
 func TestCacheHitsAndMisses(t *testing.T) {
 	c := NewCache()
 	in := loadInstance(t, "att48")
-	d1 := c.Derived(in, 30)
-	if d1 == nil || d1.N != in.N() {
-		t.Fatalf("bad derived data: %+v", d1)
+	d1, err := c.Derived(in, 30)
+	if err != nil || d1 == nil || d1.N != in.N() {
+		t.Fatalf("bad derived data: %+v (err %v)", d1, err)
 	}
-	d2 := c.Derived(in, 30)
+	d2, _ := c.Derived(in, 30)
 	if d1 != d2 {
 		t.Error("second lookup did not share the cached derived data")
 	}
@@ -122,7 +122,7 @@ func TestCacheHitsAndMisses(t *testing.T) {
 	}
 
 	// A different NN width is a different key.
-	d3 := c.Derived(in, 10)
+	d3, _ := c.Derived(in, 10)
 	if d3 == d1 {
 		t.Error("nn = 10 shared the nn = 30 entry")
 	}
@@ -136,7 +136,7 @@ func TestCacheHitsAndMisses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Derived(clone, 30); got != d1 {
+	if got, _ := c.Derived(clone, 30); got != d1 {
 		t.Error("identical content under a second *Instance missed the cache")
 	}
 }
@@ -144,9 +144,9 @@ func TestCacheHitsAndMisses(t *testing.T) {
 func TestCacheNilReceiverComputesFresh(t *testing.T) {
 	var c *Cache
 	in := loadInstance(t, "att48")
-	d := c.Derived(in, 30)
-	if d == nil || d.N != in.N() {
-		t.Fatalf("nil cache returned bad derived data: %+v", d)
+	d, err := c.Derived(in, 30)
+	if err != nil || d == nil || d.N != in.N() {
+		t.Fatalf("nil cache returned bad derived data: %+v (err %v)", d, err)
 	}
 	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
 		t.Errorf("nil cache reported traffic: %d / %d", hits, misses)
@@ -163,7 +163,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g] = c.Derived(in, 30)
+			results[g], _ = c.Derived(in, 30)
 		}(g)
 	}
 	wg.Wait()
@@ -268,7 +268,7 @@ func TestCachePanicDoesNotPoisonEntry(t *testing.T) {
 	c := NewCache()
 	in := loadInstance(t, "att48")
 	calls := 0
-	c.compute = func(in *tsp.Instance, nn int) *tsp.Derived {
+	c.compute = func(in *tsp.Instance, nn int) (*tsp.Derived, error) {
 		calls++
 		if calls == 1 {
 			panic("transient failure")
@@ -285,9 +285,9 @@ func TestCachePanicDoesNotPoisonEntry(t *testing.T) {
 		c.Derived(in, 30)
 	}()
 
-	d := c.Derived(in, 30)
-	if d == nil {
-		t.Fatal("entry poisoned: Derived returned nil after an earlier panic")
+	d, err := c.Derived(in, 30)
+	if err != nil || d == nil {
+		t.Fatalf("entry poisoned: Derived returned %v, %v after an earlier panic", d, err)
 	}
 	if d.N != in.N() {
 		t.Fatalf("retry returned bad derived data: %+v", d)
@@ -296,7 +296,7 @@ func TestCachePanicDoesNotPoisonEntry(t *testing.T) {
 		t.Fatalf("compute ran %d times, want 2 (panic then retry)", calls)
 	}
 	// The retried value is now cached like any other.
-	if d2 := c.Derived(in, 30); d2 != d {
+	if d2, _ := c.Derived(in, 30); d2 != d {
 		t.Error("post-retry lookup did not share the cached value")
 	}
 	if calls != 2 {

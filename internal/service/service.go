@@ -113,7 +113,8 @@ type SubmitRequest struct {
 	TSPLIB string `json:"tsplib,omitempty"`
 	// Iterations is the ACO iteration count (default 20).
 	Iterations int `json:"iterations,omitempty"`
-	// Backend is "cpu" (default) or "gpu" (the simulated device).
+	// Backend is "cpu" (default), "gpu" (the simulated device) or
+	// "tensor" (the host-native float32 matrix-kernel engine).
 	Backend string `json:"backend,omitempty"`
 	// Algorithm is "as" (default), "acs", "mmas", "eas" or "rank".
 	Algorithm string `json:"algorithm,omitempty"`
@@ -656,8 +657,10 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 		opts.Backend = antgpu.BackendCPU
 	case "gpu":
 		opts.Backend = antgpu.BackendGPU
+	case "tensor":
+		opts.Backend = antgpu.BackendTensor
 	default:
-		return bad("unknown backend %q (want cpu or gpu)", req.Backend)
+		return bad("unknown backend %q (want cpu, gpu or tensor)", req.Backend)
 	}
 	switch strings.ToLower(req.Algorithm) {
 	case "", "as":
@@ -672,6 +675,10 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 		opts.Algorithm = antgpu.AlgorithmRank
 	default:
 		return bad("unknown algorithm %q (want as, acs, mmas, eas or rank)", req.Algorithm)
+	}
+	if opts.Backend == antgpu.BackendTensor &&
+		(opts.Algorithm == antgpu.AlgorithmEAS || opts.Algorithm == antgpu.AlgorithmRank) {
+		return bad("backend tensor supports algorithms as, acs and mmas only")
 	}
 	if req.LocalSearch {
 		if opts.Algorithm != antgpu.AlgorithmAS {

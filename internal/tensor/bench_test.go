@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"testing"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/tsp"
+)
+
+// benchIterate times one full AS iteration of either engine. ants = 0
+// keeps the paper's m = n; 25 is ACOTSP's default colony size, the
+// few-ant regime where the colony's choice-info recomputation dominates
+// (see internal/bench.Tensor for the sweep these spot benchmarks back).
+func benchIterate(b *testing.B, name string, v aco.Variant, ants int, tensorSide bool) {
+	b.Helper()
+	in := tsp.MustLoadBenchmark(name)
+	p := aco.DefaultParams()
+	p.Ants = ants
+	if tensorSide {
+		e, err := New(in, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Iterate(v)
+		}
+		return
+	}
+	c, err := aco.New(in, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Iterate(v)
+	}
+}
+
+func BenchmarkTensorIterate(b *testing.B) {
+	benchIterate(b, "kroC100", aco.NNListConstruction, 0, true)
+}
+
+func BenchmarkColonyIterate(b *testing.B) {
+	benchIterate(b, "kroC100", aco.NNListConstruction, 0, false)
+}
+
+func BenchmarkTensorIterateFull(b *testing.B) {
+	benchIterate(b, "kroC100", aco.FullProbabilistic, 0, true)
+}
+
+func BenchmarkColonyIterateFull(b *testing.B) {
+	benchIterate(b, "kroC100", aco.FullProbabilistic, 0, false)
+}
+
+func BenchmarkTensorIterateM25(b *testing.B) {
+	benchIterate(b, "pr1002", aco.NNListConstruction, 25, true)
+}
+
+func BenchmarkColonyIterateM25(b *testing.B) {
+	benchIterate(b, "pr1002", aco.NNListConstruction, 25, false)
+}

@@ -1,0 +1,206 @@
+package tensor
+
+import (
+	"time"
+
+	"antgpu/internal/aco"
+	"antgpu/internal/rng"
+)
+
+// ConstructTours builds tours for all m ants with the selected variant,
+// drawing from the same per-ant random streams as the reference colony:
+// rng.Seed(seed, iteration<<24|ant), one Intn for the start city, one
+// Float64 per step if and only if the step's probability mass is positive.
+//
+// Selection is a two-pass masked cumulative sum. Pass one stages the
+// masked weights into the mw scratch row while computing the total
+// probability mass with the float add latency chain broken across
+// independent accumulators; pass two accumulates the cumulative sum over
+// mw — a pure sequential scan, no gathers — until it crosses the draw,
+// with the last positive slot as the r == total fallback
+// (aco.RouletteSelect semantics). On the NN path the weights come from the
+// pre-gathered wNN tensor, so the only indexed load in either pass is the
+// n-wide tabu mask.
+func (e *Engine) ConstructTours(v aco.Variant) {
+	start := time.Now()
+	e.iteration++
+	for ant := 0; ant < e.m; ant++ {
+		g := rng.Seed(e.P.Seed, e.iteration<<24|uint64(ant))
+		switch v {
+		case aco.NNListConstruction:
+			e.constructAntNN(ant, &g)
+		default:
+			e.constructAntFull(ant, &g)
+		}
+	}
+	e.span("construct", time.Since(start).Seconds())
+}
+
+// constructAntFull applies the random-proportional rule over all unvisited
+// cities, streaming the full weight row against the mask.
+func (e *Engine) constructAntFull(ant int, g *rng.LCG) {
+	n := e.n
+	tour := e.Tours[ant*n : (ant+1)*n]
+	mask := e.maskF
+	for i := range mask {
+		mask[i] = 1
+	}
+
+	cur := g.Intn(n)
+	tour[0] = int32(cur)
+	mask[cur] = 0
+	length := int64(0)
+
+	for step := 1; step < n; step++ {
+		row := e.weight[cur*n : cur*n+n]
+		mw := e.mw[:n]
+		// Pass one: stage the masked weights and total them, four
+		// independent accumulators so the adds pipeline instead of
+		// serialising on the FMA latency.
+		var t0, t1, t2, t3 float32
+		j := 0
+		for ; j+3 < n; j += 4 {
+			w0, w1 := row[j]*mask[j], row[j+1]*mask[j+1]
+			w2, w3 := row[j+2]*mask[j+2], row[j+3]*mask[j+3]
+			mw[j], mw[j+1], mw[j+2], mw[j+3] = w0, w1, w2, w3
+			t0 += w0
+			t1 += w1
+			t2 += w2
+			t3 += w3
+		}
+		for ; j < n; j++ {
+			w := row[j] * mask[j]
+			mw[j] = w
+			t0 += w
+		}
+		total := (t0 + t1) + (t2 + t3)
+
+		next := -1
+		if total > 0 {
+			// The draw resolves in float64 against float32 partial sums so
+			// exact rows reproduce the colony's selection bit for bit.
+			r := g.Float64() * float64(total)
+			next = rouletteMasked(mw, r)
+		}
+		if next < 0 {
+			next = e.bestFeasible(cur)
+		}
+		tour[step] = int32(next)
+		mask[next] = 0
+		length += int64(e.dist[cur*n+next])
+		cur = next
+	}
+	length += int64(e.dist[cur*n+int(tour[0])])
+	e.finishAnt(ant, tour, length)
+}
+
+// constructAntNN restricts the probabilistic choice to the nearest-
+// neighbour list, reading the pre-gathered wNN row sequentially;
+// exhausting the list falls back to the best feasible city by weight.
+func (e *Engine) constructAntNN(ant int, g *rng.LCG) {
+	n, nn := e.n, e.nn
+	tour := e.Tours[ant*n : (ant+1)*n]
+	mask := e.maskF
+	for i := range mask {
+		mask[i] = 1
+	}
+
+	cur := g.Intn(n)
+	tour[0] = int32(cur)
+	mask[cur] = 0
+	length := int64(0)
+
+	for step := 1; step < n; step++ {
+		list := e.nnList[cur*nn : cur*nn+nn]
+		wrow := e.wNN[cur*nn : cur*nn+nn]
+		mw := e.mw[:nn]
+		var t0, t1 float32
+		k := 0
+		for ; k+1 < nn; k += 2 {
+			w0, w1 := wrow[k]*mask[list[k]], wrow[k+1]*mask[list[k+1]]
+			mw[k], mw[k+1] = w0, w1
+			t0 += w0
+			t1 += w1
+		}
+		if k < nn {
+			w := wrow[k] * mask[list[k]]
+			mw[k] = w
+			t0 += w
+		}
+		total := t0 + t1
+
+		next := -1
+		if total > 0 {
+			r := g.Float64() * float64(total)
+			if k := rouletteMasked(mw, r); k >= 0 {
+				next = int(list[k])
+			}
+		}
+		if next < 0 {
+			next = e.bestFeasible(cur)
+		}
+		tour[step] = int32(next)
+		mask[next] = 0
+		length += int64(e.dist[cur*n+next])
+		cur = next
+	}
+	length += int64(e.dist[cur*n+int(tour[0])])
+	e.finishAnt(ant, tour, length)
+}
+
+// rouletteMasked resolves a roulette draw against the cumulative sum of an
+// already-masked weight row (slot weights, zero where visited or
+// zero-probability). Zero slots can never win, and a draw past the row's
+// own total — the r == total float edge — settles on the last slot that
+// carried probability. Returns the winning slot, or -1 when no slot
+// carries any probability.
+func rouletteMasked(mw []float32, r float64) int {
+	last := -1
+	acc := float32(0)
+	for k, w := range mw {
+		if w > 0 {
+			last = k
+			acc += w
+			if float64(acc) >= r {
+				return k
+			}
+		}
+	}
+	return last
+}
+
+// bestFeasible returns the unvisited city with the highest weight from
+// cur, using the mask-sink trick of the data-parallel kernels: visited
+// lanes score exactly -1 while unvisited lanes keep their weight
+// bit-identically (w·1 + 0.0), so the scan itself stays branch-free and
+// the first strict maximum matches the colony's tie-break.
+func (e *Engine) bestFeasible(cur int) int {
+	n := e.n
+	row := e.weight[cur*n : cur*n+n]
+	mask := e.maskF
+	best := -1
+	bestV := float32(-1)
+	for j := 0; j < n; j++ {
+		mb := mask[j]
+		if v := row[j]*mb + (mb - 1); v > bestV {
+			best, bestV = j, v
+		}
+	}
+	if best < 0 {
+		panic("tensor: no feasible city (corrupt mask state)")
+	}
+	return best
+}
+
+// finishAnt stores the ant's exact tour length and updates the best-so-far
+// (first ant wins ties, like the colony).
+func (e *Engine) finishAnt(ant int, tour []int32, l int64) {
+	e.Lengths[ant] = l
+	if l < e.BestLen {
+		e.BestLen = l
+		if e.BestTour == nil {
+			e.BestTour = make([]int32, len(tour))
+		}
+		copy(e.BestTour, tour)
+	}
+}

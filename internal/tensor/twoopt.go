@@ -1,0 +1,204 @@
+package tensor
+
+import "time"
+
+// Vectorised 2-opt in the tensor engine's idiom: instead of ACOTSP's
+// first-improvement walk that interleaves a gain computation with an early
+// exit on every candidate, each direction around a city runs as two flat
+// passes over the (distance-sorted) candidate list — first a radius scan
+// that finds the prefix still able to improve, then a branch-light gain
+// scan over that prefix that evaluates every candidate move and keeps the
+// argmax. The scans index flat rows of the int32 distance matrix and all
+// gain arithmetic is exact int64, so the pass can never "improve" a tour
+// into a worse one through rounding. The applied move is the best in the
+// prefix (best-improvement) rather than the first — both drive the tour to
+// a 2-opt-optimal fixed point over the same candidate neighbourhood.
+
+type twoOptScratch struct {
+	pos []int32
+	dlb []bool
+}
+
+// LocalSearchTours applies the vectorised 2-opt to every ant's tour,
+// updating the recorded lengths and the best-so-far.
+func (e *Engine) LocalSearchTours() {
+	start := time.Now()
+	if e.ls.pos == nil {
+		e.ls.pos = make([]int32, e.n)
+		e.ls.dlb = make([]bool, e.n)
+	}
+	n := e.n
+	for ant := 0; ant < e.m; ant++ {
+		tour := e.Tours[ant*n : (ant+1)*n]
+		l := e.twoOpt(tour)
+		if l < e.Lengths[ant] {
+			e.Lengths[ant] = l
+		}
+		if l < e.BestLen {
+			e.BestLen = l
+			if e.BestTour == nil {
+				e.BestTour = make([]int32, n)
+			}
+			copy(e.BestTour, tour)
+		}
+	}
+	e.span("2-opt", time.Since(start).Seconds())
+}
+
+// twoOpt improves one tour in place until no candidate move improves it,
+// and returns the exact resulting length.
+func (e *Engine) twoOpt(tour []int32) int64 {
+	n := e.n
+	pos, dlb := e.ls.pos, e.ls.dlb
+	for p, c := range tour {
+		pos[c] = int32(p)
+	}
+	for i := range dlb {
+		dlb[i] = false
+	}
+
+	improvement := true
+	for improvement {
+		improvement = false
+		for c1 := int32(0); int(c1) < n; c1++ {
+			if dlb[c1] {
+				continue
+			}
+			if e.improveCity(tour, c1) {
+				improvement = true
+			} else {
+				dlb[c1] = true
+			}
+		}
+	}
+
+	l := int64(0)
+	prev := int(tour[n-1])
+	for _, c := range tour {
+		l += int64(e.dist[prev*n+int(c)])
+		prev = int(c)
+	}
+	return l
+}
+
+func (e *Engine) succ(tour []int32, c int32) int32 {
+	p := int(e.ls.pos[c]) + 1
+	if p == e.n {
+		p = 0
+	}
+	return tour[p]
+}
+
+func (e *Engine) pred(tour []int32, c int32) int32 {
+	p := int(e.ls.pos[c]) - 1
+	if p < 0 {
+		p = e.n - 1
+	}
+	return tour[p]
+}
+
+// improveCity runs the two-pass candidate scan around c1 in both tour
+// directions and applies the best improving exchange found, if any.
+func (e *Engine) improveCity(tour []int32, c1 int32) bool {
+	n, nn := e.n, e.nn
+	list := e.nnList[int(c1)*nn : int(c1)*nn+nn]
+	drow := e.dist[int(c1)*n : int(c1)*n+n]
+
+	// Successor direction: break edges (c1, succ c1) and (c2, succ c2).
+	s1 := e.succ(tour, c1)
+	radius := drow[s1]
+	// Radius scan: the candidate list is distance-sorted, so the movable
+	// candidates form a prefix.
+	m := 0
+	for m < nn && drow[list[m]] < radius {
+		m++
+	}
+	// Gain scan over the prefix: evaluate every candidate, keep the argmax.
+	bestH := -1
+	bestG := int64(0)
+	for h := 0; h < m; h++ {
+		c2 := list[h]
+		s2 := e.succ(tour, c2)
+		if s2 == c1 || c2 == s1 {
+			continue // degenerate: shared edge
+		}
+		g := int64(radius) + int64(e.dist[int(c2)*n+int(s2)]) -
+			int64(drow[c2]) - int64(e.dist[int(s1)*n+int(s2)])
+		if g > bestG {
+			bestG, bestH = g, h
+		}
+	}
+	if bestH >= 0 {
+		c2 := list[bestH]
+		e.apply(tour, c1, s1, c2, e.succ(tour, c2))
+		return true
+	}
+
+	// Predecessor direction: the same move type against the orientation.
+	p1 := e.pred(tour, c1)
+	radius = drow[p1]
+	m = 0
+	for m < nn && drow[list[m]] < radius {
+		m++
+	}
+	bestH = -1
+	bestG = 0
+	for h := 0; h < m; h++ {
+		c2 := list[h]
+		p2 := e.pred(tour, c2)
+		if p2 == c1 || p1 == c2 {
+			continue
+		}
+		g := int64(radius) + int64(e.dist[int(p2)*n+int(c2)]) -
+			int64(drow[c2]) - int64(e.dist[int(p1)*n+int(p2)])
+		if g > bestG {
+			bestG, bestH = g, h
+		}
+	}
+	if bestH >= 0 {
+		c2 := list[bestH]
+		e.apply(tour, e.pred(tour, c2), c2, p1, c1)
+		return true
+	}
+	return false
+}
+
+// apply performs the exchange removing edges (c1,s1), (c2,s2) and adding
+// (c1,c2), (s1,s2) by reversing the shorter side of the broken cycle.
+func (e *Engine) apply(tour []int32, c1, s1, c2, s2 int32) {
+	n := e.n
+	pos, dlb := e.ls.pos, e.ls.dlb
+	i := int(pos[s1])
+	j := int(pos[c2])
+	inner := j - i
+	if inner < 0 {
+		inner += n
+	}
+	inner++ // segment s1..c2 inclusive
+	if inner <= n-inner {
+		e.reverse(tour, i, inner)
+	} else {
+		e.reverse(tour, int(pos[s2]), n-inner)
+	}
+	dlb[c1] = false
+	dlb[s1] = false
+	dlb[c2] = false
+	dlb[s2] = false
+}
+
+// reverse flips length tour positions starting at position i (cyclic).
+func (e *Engine) reverse(tour []int32, i, length int) {
+	n := e.n
+	pos := e.ls.pos
+	a := i
+	b := i + length - 1
+	for k := 0; k < length/2; k++ {
+		pa := a % n
+		pb := b % n
+		tour[pa], tour[pb] = tour[pb], tour[pa]
+		pos[tour[pa]] = int32(pa)
+		pos[tour[pb]] = int32(pb)
+		a++
+		b--
+	}
+}

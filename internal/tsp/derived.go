@@ -1,5 +1,25 @@
 package tsp
 
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxExactDistF32 is the largest integer distance float32 represents
+// exactly. Above 2^24 the float32 mantissa runs out of bits and distinct
+// int32 distances collapse onto the same float32 value: the conversion is
+// still monotonic (no single edge compares out of order), but edges stop
+// being distinguishable and float32 tour-length accumulation can rank two
+// tours in the wrong order. Large-coordinate ATT/EUC_2D instances (MaxCoord
+// is 1e8) can legitimately exceed this limit.
+const MaxExactDistF32 = 1 << 24
+
+// ErrF32Precision reports that an instance's distance matrix contains
+// entries above MaxExactDistF32, so the float32 data path the device
+// kernels consume would silently lose precision. Callers should fall back
+// to the float64 CPU colony (BackendCPU) for such instances.
+var ErrF32Precision = errors.New("distance exceeds exact float32 range (2^24)")
+
 // Derived holds the read-only data every solver derives from an instance
 // before its first iteration: the distance matrix converted to the float32
 // the device kernels consume, the nearest-neighbour lists, and the greedy
@@ -34,21 +54,46 @@ func (in *Instance) EffectiveNN(nn int) int {
 	return nn
 }
 
+// CheckDistF32 reports whether the instance's distances all convert to
+// float32 exactly, returning an error wrapping ErrF32Precision naming the
+// first offending edge otherwise. Engines that upload int32 distances into
+// float32 device buffers call this before converting.
+func (in *Instance) CheckDistF32() error {
+	n := in.n
+	for i, v := range in.matrix {
+		if v > MaxExactDistF32 {
+			return fmt.Errorf("tsp: instance %q: d(%d,%d) = %d: %w",
+				in.Name, i/n, i%n, v, ErrF32Precision)
+		}
+	}
+	return nil
+}
+
 // ComputeDerived computes the shared derived data for the instance at the
 // given nearest-neighbour width. The result depends only on the instance
 // content and nn, so two instances with equal ContentHash produce
 // byte-identical Derived values.
-func (in *Instance) ComputeDerived(nn int) *Derived {
+//
+// Distances above MaxExactDistF32 cannot be converted to DistF32 without
+// losing precision; ComputeDerived detects them during conversion and
+// returns an error wrapping ErrF32Precision instead of silently collapsing
+// edges (such instances remain solvable by the float64 CPU colony, which
+// does not consume Derived.DistF32).
+func (in *Instance) ComputeDerived(nn int) (*Derived, error) {
 	n := in.n
 	nn = in.EffectiveNN(nn)
 	d := &Derived{N: n, NN: nn}
 	d.List = in.NNList(nn)
 	d.DistF32 = make([]float32, n*n)
 	for i, v := range in.matrix {
+		if v > MaxExactDistF32 {
+			return nil, fmt.Errorf("tsp: instance %q: d(%d,%d) = %d: %w",
+				in.Name, i/n, i%n, v, ErrF32Precision)
+		}
 		d.DistF32[i] = float32(v)
 	}
 	d.CNN = in.TourLength(in.NearestNeighbourTour(0))
-	return d
+	return d, nil
 }
 
 // ContentHash returns a 64-bit FNV-1a hash of the instance's solver-visible
