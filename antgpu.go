@@ -35,12 +35,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/sched"
 	"antgpu/internal/tensor"
 	"antgpu/internal/trace"
@@ -301,6 +303,16 @@ type SolveOptions struct {
 	// caller has one. It feeds the antgpu_optimum_gap_ratio gauge and the
 	// Gap field of OnIteration events; zero (unknown) disables both.
 	Optimum int64
+	// Logger, when non-nil, receives one structured JSON event per solver
+	// lifecycle step — solve start/end and, on the fault-tolerant paths,
+	// every fault, retry, reset, failover and checkpoint; at debug level
+	// also every simulated kernel launch. Events carry the correlation in
+	// the solve's context (request ID, job ID — see internal/obslog), which
+	// is how the antgpud service keys every line of a solve to the HTTP
+	// request that caused it. Nil (the default) disables logging at zero
+	// cost; logging only observes, so solver results are byte-identical
+	// with it on or off.
+	Logger *Logger
 	// OnIteration, when non-nil, receives one IterationEvent per completed
 	// ACO iteration — iteration best/mean tour length, best-so-far, gap to
 	// Optimum, pheromone entropy and λ-branching — called synchronously
@@ -337,12 +349,35 @@ type Result struct {
 func NewTrace() *Trace { return trace.NewCollector() }
 
 // newTracer returns a fresh profiling collector, or nil when profiling is
-// off (a nil tracer disables all span and observer hooks).
-func newTracer(opts SolveOptions) *trace.Collector {
+// off (a nil tracer disables all span and observer hooks). The context's
+// correlation, when present, is attached so the exported Chrome trace names
+// the request it belongs to and can be joined against the log stream.
+func newTracer(ctx context.Context, opts SolveOptions) *trace.Collector {
 	if !opts.Profile {
 		return nil
 	}
-	return trace.NewCollector()
+	tr := trace.NewCollector()
+	if corr, ok := obslog.FromContext(ctx); ok {
+		tr.SetCorrelation(corr.RequestID, corr.JobID)
+	}
+	return tr
+}
+
+// launchLogger adapts the solve logger to the device's launch-observer
+// hook: one debug event per simulated kernel launch, keyed by the solve's
+// correlation. Installed by gpuDevice only when debug logging is on, so
+// the launch path's nil check skips it entirely otherwise.
+type launchLogger struct {
+	ctx context.Context
+	lg  *obslog.Logger
+}
+
+func (o *launchLogger) ObserveLaunch(cfg *cuda.LaunchConfig, res *cuda.LaunchResult) {
+	o.lg.Debug(o.ctx, obslog.EvKernel,
+		slog.String("kernel", res.Name),
+		slog.String("grid", cfg.Grid.String()),
+		slog.String("block", cfg.Block.String()),
+		slog.Float64("sim_ms", res.Millis()))
 }
 
 // Solve runs the Ant System on the instance and returns the best tour
@@ -360,10 +395,11 @@ func Solve(in *Instance, opts SolveOptions) (*Result, error) {
 // concurrent solves.
 //
 // When a metrics registry is attached, the private clone also carries the
-// hardware-counter observer. The assignment is guarded so a disabled
-// registry leaves the Metrics field a true nil interface — the launch
+// hardware-counter observer, and when debug logging is on, the
+// kernel-launch logger. Both assignments are guarded so a disabled
+// registry/logger leaves the field a true nil interface — the launch
 // path's nil check then skips the hook entirely.
-func gpuDevice(opts SolveOptions) *Device {
+func gpuDevice(ctx context.Context, opts SolveOptions) *Device {
 	dev := opts.Device
 	if dev == nil {
 		dev = TeslaM2050()
@@ -373,6 +409,9 @@ func gpuDevice(opts SolveOptions) *Device {
 	dev.Faults = opts.Faults.Clone()
 	if opts.Metrics != nil {
 		dev.Metrics = metrics.NewHW(opts.Metrics, dev)
+	}
+	if opts.Logger.Enabled(slog.LevelDebug) {
+		dev.Log = &launchLogger{ctx: ctx, lg: opts.Logger}
 	}
 	return dev
 }
@@ -420,6 +459,21 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			return nil, fmt.Errorf("antgpu: the fault-tolerant runtime supports AlgorithmAS on the GPU backend without local search (the tensor backend checkpoints through tensor.Engine.Checkpoint/Restore instead)")
 		}
 	}
+	if opts.Logger.Enabled(slog.LevelDebug) {
+		opts.Logger.Debug(ctx, obslog.EvSolveStart,
+			slog.String("backend", opts.Backend.String()),
+			slog.String("algorithm", opts.Algorithm.String()),
+			slog.Int("n", in.N()), slog.Int("iterations", opts.Iterations))
+		defer func() {
+			if err != nil {
+				opts.Logger.Debug(ctx, obslog.EvSolveEnd, slog.String("err", err.Error()))
+			} else if res != nil {
+				opts.Logger.Debug(ctx, obslog.EvSolveEnd,
+					slog.Int64("best_len", res.BestLen),
+					slog.Float64("sim_s", res.SimulatedSeconds))
+			}
+		}()
+	}
 	switch opts.Algorithm {
 	case AlgorithmACS:
 		return solveACS(ctx, in, opts)
@@ -443,7 +497,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 		if err != nil {
 			return nil, err
 		}
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		c.Tracer = tr
 		c.Conv = solveConv(opts, in)
 		c.ResetMeters()
@@ -470,7 +524,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 		total.Add(&c.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := gpuDevice(opts)
+		dev := gpuDevice(ctx, opts)
 		tv := opts.Tour
 		if tv == 0 {
 			if in.N() <= 500 {
@@ -488,9 +542,9 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			if opts.Recovery != nil {
 				ro = *opts.Recovery
 			}
-			tr := newTracer(opts)
+			tr := newTracer(ctx, opts)
 			tour, l, secs, rep, err := core.RunRecovered(ctx, dev, in, opts.Params,
-				tv, pv, opts.Iterations, ro, tr, solveConv(opts, in))
+				tv, pv, opts.Iterations, ro, tr, solveConv(opts, in), opts.Logger)
 			if err != nil {
 				return nil, err
 			}
@@ -506,7 +560,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 			return nil, err
 		}
 		defer e.Free()
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		if tr != nil {
 			e.SetTracer(tr)
 		}
@@ -547,7 +601,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 		if err != nil {
 			return nil, err
 		}
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		e.Tracer = tr
 		e.Conv = solveConv(opts, in)
 		start := time.Now()
@@ -585,7 +639,7 @@ func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		c.Tracer = tr
 		c.ResetMeters()
 		tour, l, err := c.RunContext(ctx, opts.Variant, opts.Iterations)
@@ -598,13 +652,13 @@ func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, e
 		total.Add(&c.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := gpuDevice(opts)
+		dev := gpuDevice(ctx, opts)
 		e, err := core.NewMMASEngine(dev, in, p)
 		if err != nil {
 			return nil, err
 		}
 		defer e.Free()
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		if tr != nil {
 			e.SetTracer(tr)
 		}
@@ -621,7 +675,7 @@ func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		e.Tracer = tr
 		e.Conv = solveConv(opts, in)
 		start := time.Now()
@@ -641,7 +695,7 @@ func solveVariant(ctx context.Context, in *Instance, opts SolveOptions) (*Result
 	if opts.Backend == BackendTensor {
 		return nil, fmt.Errorf("antgpu: the tensor backend supports AS, ACS and MMAS; %v is not tensorized", opts.Algorithm)
 	}
-	tr := newTracer(opts)
+	tr := newTracer(ctx, opts)
 	switch opts.Backend {
 	case BackendCPU:
 		var run func() ([]int32, int64, *aco.Colony, error)
@@ -676,7 +730,7 @@ func solveVariant(ctx context.Context, in *Instance, opts SolveOptions) (*Result
 		total.Add(&col.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := gpuDevice(opts)
+		dev := gpuDevice(ctx, opts)
 		var tour []int32
 		var l int64
 		var secs float64
@@ -726,7 +780,7 @@ func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, er
 		if err != nil {
 			return nil, err
 		}
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		c.Tracer = tr
 		c.ResetMeters()
 		tour, l, err := c.RunContext(ctx, opts.Iterations)
@@ -739,13 +793,13 @@ func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, er
 		total.Add(&c.ChoiceMeter)
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: cpu.Seconds(&total), Trace: tr}, nil
 	case BackendGPU:
-		dev := gpuDevice(opts)
+		dev := gpuDevice(ctx, opts)
 		e, err := core.NewACSEngine(dev, in, p)
 		if err != nil {
 			return nil, err
 		}
 		defer e.Free()
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		if tr != nil {
 			e.SetTracer(tr)
 		}
@@ -759,7 +813,7 @@ func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, er
 		if err != nil {
 			return nil, err
 		}
-		tr := newTracer(opts)
+		tr := newTracer(ctx, opts)
 		e.Tracer = tr
 		e.Conv = solveConv(opts, in)
 		start := time.Now()

@@ -3,11 +3,13 @@ package antgpu
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/sched"
 	"antgpu/internal/trace"
 )
@@ -37,6 +39,12 @@ type PoolOptions struct {
 	// observes the scheduler and all the solves it dispatches. Nil (the
 	// default) disables collection at zero cost.
 	Metrics *Metrics
+	// Logger, when non-nil, emits a dispatch event (with the queue wait) as
+	// a worker picks each Submit request up, and is inherited by every
+	// request whose own SolveOptions.Logger is nil — one logger covers the
+	// scheduler and all the solves it dispatches. Same nil-is-free contract
+	// as Metrics.
+	Logger *Logger
 }
 
 // BatchItem pairs one request's result with its error. Exactly one of the
@@ -101,6 +109,7 @@ type Pool struct {
 	workers int
 	cache   *sched.Cache
 	metrics *Metrics
+	logger  *Logger
 
 	// Submit-path state: a counting semaphore bounding one-off solves to
 	// the same worker budget SolveBatch uses, plus live depth counters —
@@ -116,7 +125,7 @@ func NewPool(opts PoolOptions) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers, metrics: opts.Metrics, sem: make(chan struct{}, workers)}
+	p := &Pool{workers: workers, metrics: opts.Metrics, logger: opts.Logger, sem: make(chan struct{}, workers)}
 	if !opts.DisableCache {
 		p.cache = sched.NewCache()
 	}
@@ -154,6 +163,17 @@ func (p *Pool) Submit(ctx context.Context, req SolveRequest, started func()) (*R
 		ctx = context.Background()
 	}
 	queueGauge, busyGauge := p.poolGauges()
+	// Dispatch logging follows the same inheritance as the solve itself: the
+	// request's own logger wins, the pool's is the fallback — a service that
+	// attaches the logger per request still gets its queue-wait events.
+	lg := req.Options.Logger
+	if lg == nil {
+		lg = p.logger
+	}
+	var enqueued time.Time
+	if lg.Enabled(slog.LevelInfo) {
+		enqueued = time.Now()
+	}
 	queueGauge.Set(float64(p.queued.Add(1)))
 	select {
 	case p.sem <- struct{}{}:
@@ -167,6 +187,11 @@ func (p *Pool) Submit(ctx context.Context, req SolveRequest, started func()) (*R
 		busyGauge.Set(float64(p.busy.Add(-1)))
 		<-p.sem
 	}()
+	if lg.Enabled(slog.LevelInfo) {
+		lg.Event(ctx, obslog.EvDispatch,
+			slog.Float64("queue_wait_s", time.Since(enqueued).Seconds()),
+			slog.Int("busy", int(p.busy.Load())))
+	}
 	if started != nil {
 		started()
 	}
@@ -175,6 +200,9 @@ func (p *Pool) Submit(ctx context.Context, req SolveRequest, started func()) (*R
 	opts.cache = p.cache
 	if opts.Metrics == nil {
 		opts.Metrics = p.metrics
+	}
+	if opts.Logger == nil {
+		opts.Logger = p.logger
 	}
 	res, err := SolveContext(ctx, req.Instance, opts)
 	if p.metrics != nil {
@@ -230,6 +258,9 @@ func (p *Pool) SolveBatch(ctx context.Context, reqs []SolveRequest) (*BatchRepor
 		opts.cache = p.cache
 		if opts.Metrics == nil {
 			opts.Metrics = p.metrics
+		}
+		if opts.Logger == nil {
+			opts.Logger = p.logger
 		}
 		res, err := SolveContext(ctx, reqs[i].Instance, opts)
 		it := BatchItem{Result: res, Err: err}

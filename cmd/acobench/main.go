@@ -463,14 +463,14 @@ func runInject(stdout io.Writer, spec string) error {
 		}
 		clean := cuda.TeslaM2050()
 		_, wantLen, _, _, err := core.RunRecovered(context.Background(), clean, in, p,
-			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil)
+			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil, nil)
 		if err != nil {
 			return fmt.Errorf("fault-free run on %s: %w", name, err)
 		}
 		dev := cuda.TeslaM2050()
 		dev.Faults = plan.Clone()
 		_, gotLen, secs, rep, err := core.RunRecovered(context.Background(), dev, in, p,
-			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil)
+			core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil, nil)
 		if err != nil {
 			return fmt.Errorf("injected run on %s: %w", name, err)
 		}

@@ -118,10 +118,15 @@ func run(args []string, stdout io.Writer) error {
 		// phase can be driven and verified.
 		reg := antgpu.NewMetrics()
 		pool := antgpu.NewPool(antgpu.PoolOptions{Workers: *f.workers, Metrics: reg})
+		// Flight recorder without a stream: the harness verifies every job's
+		// /v1/jobs/{id}/log carries its request ID, without the log volume
+		// of a full stream under load.
+		lg := antgpu.NewLogger(nil, antgpu.LoggerOptions{Flight: antgpu.NewFlightRecorder(0)})
 		svc = service.New(service.Options{
 			Pool:          pool,
 			Metrics:       reg,
 			MaxQueueDepth: *f.maxQueue,
+			Logger:        lg,
 		})
 		srv, err := metrics.ServeHandler("127.0.0.1:0", svc.Handler())
 		if err != nil {
@@ -168,10 +173,11 @@ func run(args []string, stdout io.Writer) error {
 		go func(c int) {
 			defer wg.Done()
 			cl := &client{
-				base:   base,
-				id:     fmt.Sprintf("acoload-%d", c),
-				http:   &http.Client{Timeout: 2 * time.Minute},
-				rej429: &rejected,
+				base:     base,
+				id:       fmt.Sprintf("acoload-%d", c),
+				http:     &http.Client{Timeout: 2 * time.Minute},
+				rej429:   &rejected,
+				checkLog: svc != nil,
 			}
 			for {
 				i := next.Add(1) - 1
@@ -338,15 +344,23 @@ type client struct {
 	id     string
 	http   *http.Client
 	rej429 *atomic.Int64
+	// checkLog additionally fetches each completed job's flight-recorder
+	// log and verifies every line carries the request's correlation ID —
+	// self-hosted mode only, where the flight recorder is known to be on.
+	checkLog bool
+	seq      atomic.Int64
 }
 
 // solve runs one request to a terminal state and returns (job latency,
 // submit latency). Job latency spans first submit attempt to observed
 // terminal state, so retry backoff after 429s is counted against the
-// service — that is the latency a real client experiences.
+// service — that is the latency a real client experiences. Every request
+// sends a unique X-Request-ID and fails if the service does not echo it
+// back; with checkLog the job's log lines must all carry it too.
 func (c *client) solve(body string, useSSE bool) (jobLat, subLat time.Duration, err error) {
 	start := time.Now()
-	id, subLat, err := c.submit(body)
+	rid := fmt.Sprintf("%s-r%d", c.id, c.seq.Add(1))
+	id, subLat, err := c.submit(body, rid)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -362,12 +376,18 @@ func (c *client) solve(body string, useSSE bool) (jobLat, subLat time.Duration, 
 	if state != "done" {
 		return 0, 0, fmt.Errorf("job %s ended %q", id, state)
 	}
+	if c.checkLog {
+		if err := c.verifyJobLog(id, rid); err != nil {
+			return 0, 0, err
+		}
+	}
 	return time.Since(start), subLat, nil
 }
 
-// submit POSTs the solve, retrying 429s with backoff, and returns the job
-// ID and the accepted POST's round-trip time.
-func (c *client) submit(body string) (string, time.Duration, error) {
+// submit POSTs the solve with the request ID, retrying 429s with backoff,
+// and returns the job ID and the accepted POST's round-trip time. The 202's
+// X-Request-ID header and job status must both echo the sent ID.
+func (c *client) submit(body, rid string) (string, time.Duration, error) {
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
@@ -377,6 +397,7 @@ func (c *client) submit(body string) (string, time.Duration, error) {
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Client-ID", c.id)
+		req.Header.Set("X-Request-ID", rid)
 		resp, err := c.http.Do(req)
 		if err != nil {
 			return "", 0, err
@@ -386,11 +407,18 @@ func (c *client) submit(body string) (string, time.Duration, error) {
 		rtt := time.Since(t0)
 		switch resp.StatusCode {
 		case http.StatusAccepted:
+			if got := resp.Header.Get("X-Request-ID"); got != rid {
+				return "", 0, fmt.Errorf("X-Request-ID echoed as %q, sent %q", got, rid)
+			}
 			var st struct {
-				ID string `json:"id"`
+				ID        string `json:"id"`
+				RequestID string `json:"request_id"`
 			}
 			if err := json.Unmarshal(b, &st); err != nil || st.ID == "" {
 				return "", 0, fmt.Errorf("submit response %q: %v", b, err)
+			}
+			if st.RequestID != rid {
+				return "", 0, fmt.Errorf("job %s request_id %q, sent %q", st.ID, st.RequestID, rid)
 			}
 			return st.ID, rtt, nil
 		case http.StatusTooManyRequests:
@@ -406,6 +434,34 @@ func (c *client) submit(body string) (string, time.Duration, error) {
 			return "", 0, fmt.Errorf("submit status %d: %s", resp.StatusCode, b)
 		}
 	}
+}
+
+// verifyJobLog asserts the completed job's flight-recorder log is non-empty
+// and that every line carries the request ID the job was submitted under.
+func (c *client) verifyJobLog(id, rid string) error {
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/log")
+	if err != nil {
+		return fmt.Errorf("job %s log: %w", id, err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("job %s log status %d: %s", id, resp.StatusCode, b)
+	}
+	lines := 0
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		lines++
+		if !strings.Contains(line, `"request_id":"`+rid+`"`) {
+			return fmt.Errorf("job %s log line lacks request ID %q: %s", id, rid, line)
+		}
+	}
+	if lines == 0 {
+		return fmt.Errorf("job %s log is empty", id)
+	}
+	return nil
 }
 
 // poll GETs the job until it reaches a terminal state.
@@ -484,7 +540,7 @@ func drainPhase(svc *service.Service, base, body string, wave int) (*drainSummar
 	cl := &client{base: base, id: "acoload-drain", http: &http.Client{Timeout: 2 * time.Minute}, rej429: new(atomic.Int64)}
 	ids := make([]string, 0, wave)
 	for i := 0; i < wave; i++ {
-		id, _, err := cl.submit(body)
+		id, _, err := cl.submit(body, fmt.Sprintf("acoload-drain-r%d", i))
 		if err != nil {
 			return nil, fmt.Errorf("drain wave submit %d: %w", i, err)
 		}

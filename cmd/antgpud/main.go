@@ -8,6 +8,7 @@
 //	antgpud                                  # listen on 127.0.0.1:8080
 //	antgpud -addr :9090 -workers 8           # public, bounded concurrency
 //	antgpud -maxqueue 64 -rate 10 -burst 20  # admission + rate limits
+//	antgpud -loglevel debug -flight 512      # verbose stream, bigger ring
 //
 // Endpoints:
 //
@@ -15,15 +16,25 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        poll status/result
 //	GET    /v1/jobs/{id}/events per-iteration convergence over SSE
+//	GET    /v1/jobs/{id}/log    the job's flight-recorder events (NDJSON)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             readiness (503 while draining)
 //	GET    /metrics             Prometheus exposition
 //	GET    /debug/antgpu        JSON metrics snapshot
+//	GET    /debug/flight        live flight-recorder tail (?job=<id> filters)
+//	GET    /debug/pprof/...     Go profiling endpoints (only with -pprof)
+//
+// Every request carries a correlation ID: the X-Request-ID header when the
+// client set one, otherwise generated, always echoed back. Every log line a
+// job produces — admission through kernel launches — carries that ID, so
+// one grep follows a bad request across the whole stack (see README
+// "Debugging a bad request").
 //
 // On SIGINT/SIGTERM the server drains gracefully: admission stops (429/503
 // to new submits), in-flight jobs run to completion for up to
 // -drain-timeout, then any stragglers are cancelled and the listener shut
-// down.
+// down. SIGQUIT dumps the flight recorder to stderr and keeps running; a
+// panic dumps it too before the process dies.
 package main
 
 import (
@@ -31,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +52,7 @@ import (
 
 	"antgpu"
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/service"
 )
 
@@ -49,6 +63,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "antgpud:", err)
 		os.Exit(1)
 	}
+}
+
+// buildLogger resolves the -log/-loglevel/-flight flags into a logger (nil
+// when both the stream and the flight recorder are off) and a close func
+// for a log file.
+func buildLogger(logDest, level string, flight int) (*antgpu.Logger, func(), error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, nil, fmt.Errorf("-loglevel %q: %w", level, err)
+	}
+	var w io.Writer
+	cleanup := func() {}
+	switch logDest {
+	case "stderr":
+		w = os.Stderr
+	case "off":
+		w = nil
+	default:
+		f, err := os.OpenFile(logDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-log %q: %w", logDest, err)
+		}
+		w = f
+		cleanup = func() { f.Close() }
+	}
+	var fr *antgpu.FlightRecorder
+	if flight > 0 {
+		fr = antgpu.NewFlightRecorder(flight)
+	}
+	if w == nil && fr == nil {
+		return nil, cleanup, nil
+	}
+	return antgpu.NewLogger(w, antgpu.LoggerOptions{Level: lvl, Flight: fr}), cleanup, nil
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -63,13 +110,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxIters     = fs.Int("maxiters", 0, "largest accepted per-job iteration count (0 = 100000)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long a shutdown signal waits for in-flight jobs before cancelling them")
+		logDest  = fs.String("log", "stderr", "structured log stream: stderr, off, or a file path")
+		logLevel = fs.String("loglevel", "info", "minimum stream level (debug, info, warn, error)")
+		flight   = fs.Int("flight", obslog.DefaultFlightSize,
+			"flight-recorder ring size per job (0 disables the recorder)")
+		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	lg, logClose, err := buildLogger(*logDest, *logLevel, *flight)
+	if err != nil {
+		return err
+	}
+	defer logClose()
+	// A panic anywhere in the serving goroutines tears the process down;
+	// make the flight recorder's last events part of the post-mortem.
+	defer func() {
+		if r := recover(); r != nil {
+			lg.CrashDump(fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
+
 	reg := antgpu.NewMetrics()
-	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: *workers, Metrics: reg})
+	pool := antgpu.NewPool(antgpu.PoolOptions{Workers: *workers, Metrics: reg, Logger: lg})
 	svc := service.New(service.Options{
 		Pool:          pool,
 		Metrics:       reg,
@@ -77,6 +143,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		RatePerSec:    *rate,
 		Burst:         *burst,
 		MaxIterations: *maxIters,
+		Logger:        lg,
 	})
 
 	mux := http.NewServeMux()
@@ -84,15 +151,51 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	mh := antgpu.MetricsHandler(reg)
 	mux.Handle("/metrics", mh)
 	mux.Handle("/debug/antgpu", mh)
+	if fr := lg.Flight(); fr != nil {
+		mux.Handle("/debug/flight", fr.Handler())
+	}
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
-	srv, err := metrics.ServeHandler(*addr, mux)
+	// A bind failure surfaces synchronously here; an accept loop dying later
+	// (listener closed by the OS, fd exhaustion) lands on srvErr so the
+	// process reports it and exits non-zero instead of serving nothing
+	// silently.
+	srvErr := make(chan error, 1)
+	srv, err := metrics.ServeHandlerNotify(*addr, mux, func(err error) {
+		select {
+		case srvErr <- err:
+		default:
+		}
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "antgpud listening on http://%s (workers=%d maxqueue=%d)\n",
 		srv.Addr(), pool.Workers(), svc.MaxQueueDepth())
 
-	<-ctx.Done()
+	// SIGQUIT: dump the flight recorder and keep serving — the operator's
+	// "what is this server doing right now" probe.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			lg.CrashDump("SIGQUIT")
+		}
+	}()
+
+	select {
+	case err := <-srvErr:
+		lg.CrashDump("listener failure: " + err.Error())
+		return fmt.Errorf("listener failed: %w", err)
+	case <-ctx.Done():
+	}
 	fmt.Fprintln(stdout, "antgpud draining...")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

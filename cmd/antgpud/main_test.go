@@ -7,12 +7,19 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 )
+
+// readFile returns the file's contents as a string.
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
 
 // syncBuffer is a goroutine-safe bytes.Buffer for capturing run's output
 // while the server runs in a background goroutine.
@@ -140,5 +147,159 @@ func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:x"}, &out); err == nil {
 		t.Fatal("run accepted an unbindable address")
 	}
+	if err := run(context.Background(), []string{"-loglevel", "loud"}, &out); err == nil {
+		t.Fatal("run accepted an unknown log level")
+	}
+	if err := run(context.Background(), []string{"-log", "/nonexistent-dir/antgpud.log"}, &out); err == nil {
+		t.Fatal("run accepted an unwritable log path")
+	}
 	_ = fmt.Sprint() // keep fmt imported if assertions change
+}
+
+// startServer boots antgpud with the given extra flags and returns its base
+// URL plus the cancel/done pair for shutdown.
+func startServer(t *testing.T, extra ...string) (string, context.CancelFunc, chan error, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extra...)
+	go func() { done <- run(ctx, args, out) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1], cancel, done, out
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func stopServer(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestLoggingAndFlightEndpoints: with a file log stream and the flight
+// recorder on, a solved job's request ID appears on the response header, in
+// the stream, on /debug/flight and on /v1/jobs/{id}/log.
+func TestLoggingAndFlightEndpoints(t *testing.T) {
+	logPath := t.TempDir() + "/antgpud.log"
+	base, cancel, done, _ := startServer(t, "-log", logPath, "-loglevel", "debug")
+	defer cancel()
+
+	const rid = "req-antgpud-test"
+	req, _ := http.NewRequest("POST", base+"/v1/solve",
+		strings.NewReader(`{"benchmark":"att48","iterations":3,"backend":"gpu","params":{"seed":1}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != rid {
+		t.Errorf("X-Request-ID echoed as %q, want %q", got, rid)
+	}
+	var st struct {
+		ID        string `json:"id"`
+		RequestID string `json:"request_id"`
+		State     string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("submit body %q: %v", body, err)
+	}
+	if st.RequestID != rid {
+		t.Errorf("job status request_id = %q, want %q", st.RequestID, rid)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		code, b := get("/v1/jobs/" + st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll status %d: %s", code, b)
+		}
+		if err := json.Unmarshal([]byte(b), &st); err != nil {
+			t.Fatalf("poll body %q: %v", b, err)
+		}
+		if st.State == "failed" || st.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("job ended %s: %s", st.State, b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if code, b := get("/v1/jobs/" + st.ID + "/log"); code != http.StatusOK ||
+		!strings.Contains(b, `"request_id":"`+rid+`"`) {
+		t.Errorf("/v1/jobs/{id}/log status %d, body:\n%s", code, b)
+	}
+	if code, b := get("/debug/flight?job=" + st.ID); code != http.StatusOK ||
+		!strings.Contains(b, `"request_id":"`+rid+`"`) {
+		t.Errorf("/debug/flight status %d, body:\n%s", code, b)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code == http.StatusOK {
+		t.Error("/debug/pprof served without -pprof")
+	}
+
+	stopServer(t, cancel, done)
+	logged, err := readFile(logPath)
+	if err != nil {
+		t.Fatalf("read log file: %v", err)
+	}
+	if !strings.Contains(logged, `"request_id":"`+rid+`"`) {
+		t.Errorf("log file has no line for request %s:\n%s", rid, logged)
+	}
+	for _, want := range []string{`"msg":"admit"`, `"msg":"dispatch"`, `"msg":"kernel"`, `"msg":"done"`} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("log file missing %s event", want)
+		}
+	}
+}
+
+// TestPprofFlag: -pprof mounts the profiling endpoints.
+func TestPprofFlag(t *testing.T) {
+	base, cancel, done, _ := startServer(t, "-pprof", "-log", "off", "-flight", "0")
+	defer cancel()
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d with -pprof", resp.StatusCode)
+	}
+	// Without a flight recorder the debug endpoint is absent.
+	resp, err = http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatalf("GET /debug/flight: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/flight served with -flight 0")
+	}
+	stopServer(t, cancel, done)
 }

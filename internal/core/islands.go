@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"strconv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"antgpu/internal/aco"
 	"antgpu/internal/cuda"
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/rng"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
@@ -90,6 +92,10 @@ type IslandConfig struct {
 	// and fault/restart/migration/quarantine/respawn counters labeled by
 	// island id, plus the ensemble-best gauge.
 	Metrics *metrics.Registry
+	// Logger, when non-nil, receives one structured event per fault, retry,
+	// reset, restart, migration, quarantine and respawn, each carrying the
+	// island index on top of the context's correlation.
+	Logger *obslog.Logger
 }
 
 func (c IslandConfig) withDefaults(in *tsp.Instance) IslandConfig {
@@ -276,6 +282,12 @@ type island struct {
 	cp  *Checkpoint
 	tr  *trace.Collector
 
+	// lg/ictx: the run logger and the run context with this island's index
+	// folded into the correlation, so every event the island emits carries
+	// (request, job, island).
+	lg   *obslog.Logger
+	ictx context.Context
+
 	state        IslandState
 	consecutive  int // consecutive failed attempts at the current iteration
 	secs         float64
@@ -314,6 +326,11 @@ func (is *island) onFault(err error) error {
 	is.faultC.Inc()
 	is.consecutive++
 	is.traceFault("fault:"+faultName(err), 0)
+	if is.lg.Enabled(slog.LevelInfo) {
+		is.lg.Event(obslog.WithAttempt(is.ictx, is.consecutive), obslog.EvFault,
+			slog.String("kind", faultName(err)), slog.Int("iter", is.stats.Iterations),
+			slog.String("err", err.Error()))
+	}
 	if is.consecutive > is.rec.MaxConsecutiveFaults {
 		return err
 	}
@@ -322,10 +339,18 @@ func (is *island) onFault(err error) error {
 	is.secs += backoff
 	is.stats.BackoffSeconds += backoff
 	is.traceFault("recovery:backoff", backoff)
+	if is.lg.Enabled(slog.LevelInfo) {
+		is.lg.Event(obslog.WithAttempt(is.ictx, is.consecutive), obslog.EvRetry,
+			slog.Int("iter", is.stats.Iterations), slog.Float64("backoff_s", backoff))
+	}
 	if errors.Is(err, cuda.ErrECC) || is.dev.Healthy() != nil {
 		is.dev.Reset()
 		is.stats.Resets++
 		is.traceFault("recovery:device-reset", 0)
+		if is.lg.Enabled(slog.LevelInfo) {
+			is.lg.Event(obslog.WithAttempt(is.ictx, is.consecutive), obslog.EvReset,
+				slog.Int("iter", is.stats.Iterations))
+		}
 		// The reset cleared the device's allocation accounting; the old
 		// engine's buffers are stale device state — drop them without Free
 		// so the fresh accounting epoch is not corrupted.
@@ -402,6 +427,10 @@ func (is *island) step(ctx context.Context) error {
 			if is.tr != nil {
 				is.tr.Span("island:restart", 0)
 			}
+			if is.lg.Enabled(slog.LevelInfo) {
+				is.lg.Event(is.ictx, obslog.EvRestart,
+					slog.Int("iter", is.stats.Iterations), slog.Int64("best_len", is.bestLen))
+			}
 		}
 		is.cp = is.eng.Checkpoint()
 		return nil
@@ -462,6 +491,10 @@ func RunIslands(ctx context.Context, devices []*cuda.Device, in *tsp.Instance, p
 		if cfg.Tracer != nil {
 			is.tr = trace.NewCollector()
 			is.tr.Begin(fmt.Sprintf("island-%d", i))
+		}
+		if cfg.Logger != nil {
+			is.lg = cfg.Logger
+			is.ictx = obslog.WithIsland(ctx, i)
 		}
 		if m := cfg.Metrics; m != nil {
 			id := strconv.Itoa(i)
@@ -567,6 +600,10 @@ func RunIslands(ctx context.Context, devices []*cuda.Device, in *tsp.Instance, p
 				is.respawnC.Inc()
 				is.stateG.Set(float64(IslandRespawned))
 				is.traceFault("island:respawn", 0)
+				if is.lg.Enabled(slog.LevelInfo) {
+					is.lg.Event(is.ictx, obslog.EvRespawn,
+						slog.Int("fleet_iter", it+1), slog.Int("respawns", is.stats.Respawns))
+				}
 			} else {
 				is.state = IslandQuarantined
 				is.stats.Quarantined = true
@@ -576,6 +613,10 @@ func RunIslands(ctx context.Context, devices []*cuda.Device, in *tsp.Instance, p
 				is.traceFault("island:quarantine", 0)
 				active--
 				activeG.Set(float64(active))
+				if is.lg.Enabled(slog.LevelInfo) {
+					is.lg.Event(is.ictx, obslog.EvQuarantine,
+						slog.Int("fleet_iter", it+1), slog.Int("active", active))
+				}
 			}
 		}
 		if active < cfg.MinIslands {
@@ -671,6 +712,11 @@ func migrateRing(islands []*island, weight float64) {
 		if off.l >= recv.bestLen {
 			recv.stats.MigrationsRejected++
 			recv.migRejC.Inc()
+			if recv.lg.Enabled(slog.LevelDebug) {
+				recv.lg.Debug(recv.ictx, obslog.EvMigration,
+					slog.String("outcome", "rejected"), slog.Int64("offered_len", off.l),
+					slog.Int64("best_len", recv.bestLen))
+			}
 			continue
 		}
 		w := weight
@@ -689,6 +735,10 @@ func migrateRing(islands []*island, weight float64) {
 		recv.migAccC.Inc()
 		if recv.tr != nil {
 			recv.tr.Span("island:migration-accept", 0)
+		}
+		if recv.lg.Enabled(slog.LevelInfo) {
+			recv.lg.Event(recv.ictx, obslog.EvMigration,
+				slog.String("outcome", "accepted"), slog.Int64("adopted_len", off.l))
 		}
 	}
 }

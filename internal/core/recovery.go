@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"antgpu/internal/aco"
 	"antgpu/internal/cuda"
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/trace"
 	"antgpu/internal/tsp"
 )
@@ -161,10 +163,12 @@ func faultName(err error) string {
 // the recovery activity. With no faults injected it is exactly Engine.Run
 // plus a per-iteration checkpoint copy. conv, when non-nil, receives the
 // per-iteration convergence metrics; it is re-attached to every rebuilt
-// engine so recording survives device resets and the CPU failover.
+// engine so recording survives device resets and the CPU failover. lg, when
+// non-nil, receives one structured event per fault, retry, reset, failover
+// and (at debug level) checkpoint, keyed by ctx's correlation.
 func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco.Params,
 	tv TourVersion, pv PherVersion, iters int, opts RecoveryOptions,
-	tr *trace.Collector, conv *metrics.Convergence) ([]int32, int64, float64, *RecoveryReport, error) {
+	tr *trace.Collector, conv *metrics.Convergence, lg *obslog.Logger) ([]int32, int64, float64, *RecoveryReport, error) {
 
 	opts = opts.withDefaults()
 	rep := &RecoveryReport{}
@@ -181,13 +185,18 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 	// the runtime should retry (backoff charged, device reset if needed),
 	// an error when the fault budget is exhausted or err is not a fault.
 	// needRebuild reports whether the engine must be reconstructed.
-	onFault := func(err error) (needRebuild bool, fatal error) {
+	onFault := func(done int, err error) (needRebuild bool, fatal error) {
 		if !isFault(err) {
 			return false, err
 		}
 		rep.Faults++
 		consecutive++
 		traceFault("fault:"+faultName(err), 0)
+		if lg.Enabled(slog.LevelInfo) {
+			lg.Event(obslog.WithAttempt(ctx, consecutive), obslog.EvFault,
+				slog.String("kind", faultName(err)), slog.Int("iter", done),
+				slog.String("err", err.Error()))
+		}
 		if consecutive > opts.MaxConsecutiveFaults {
 			return false, err
 		}
@@ -196,6 +205,10 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 		secs += backoff
 		rep.BackoffSeconds += backoff
 		traceFault("recovery:backoff", backoff)
+		if lg.Enabled(slog.LevelInfo) {
+			lg.Event(obslog.WithAttempt(ctx, consecutive), obslog.EvRetry,
+				slog.Int("iter", done), slog.Float64("backoff_s", backoff))
+		}
 		// ECC may have corrupted buffers that are never rewritten (dist,
 		// nnList), and a sticky fault poisons the context: both need a
 		// reset and a rebuilt engine. Launch and watchdog faults only
@@ -204,6 +217,10 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 			dev.Reset()
 			rep.Resets++
 			traceFault("recovery:device-reset", 0)
+			if lg.Enabled(slog.LevelInfo) {
+				lg.Event(obslog.WithAttempt(ctx, consecutive), obslog.EvReset,
+					slog.Int("iter", done))
+			}
 			return true, nil
 		}
 		return false, nil
@@ -234,12 +251,12 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 		if e == nil {
 			var err error
 			if e, err = build(); err != nil {
-				rebuild, fatal := onFault(err)
+				rebuild, fatal := onFault(done, err)
 				if fatal != nil {
 					if opts.DisableFailover || !isFault(err) {
 						return nil, 0, 0, rep, fatal
 					}
-					return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr, conv)
+					return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr, conv, lg)
 				}
 				_ = rebuild // already have no engine
 				continue
@@ -258,16 +275,20 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 			consecutive = 0
 			secs += res.Construct.Seconds() + res.Update.Seconds()
 			cp = e.Checkpoint()
+			if lg.Enabled(slog.LevelDebug) {
+				lg.Debug(ctx, obslog.EvCheckpoint, slog.Int("iter", done),
+					slog.Int64("best_len", cp.BestLen))
+			}
 			continue
 		}
-		rebuild, fatal := onFault(err)
+		rebuild, fatal := onFault(done, err)
 		if fatal != nil {
 			if opts.DisableFailover || !isFault(err) {
 				e.Free()
 				return nil, 0, 0, rep, fatal
 			}
 			e.Free()
-			return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr, conv)
+			return failoverCPU(ctx, in, p, cp, iters, done, secs, rep, tr, conv, lg)
 		}
 		if rebuild {
 			// The reset cleared the device's allocation accounting; the old
@@ -307,12 +328,16 @@ func RunRecovered(ctx context.Context, dev *cuda.Device, in *tsp.Instance, p aco
 // determinism guarantee for completing the solve at all.
 func failoverCPU(ctx context.Context, in *tsp.Instance, p aco.Params, cp *Checkpoint,
 	iters, done int, secs float64, rep *RecoveryReport,
-	tr *trace.Collector, conv *metrics.Convergence) ([]int32, int64, float64, *RecoveryReport, error) {
+	tr *trace.Collector, conv *metrics.Convergence, lg *obslog.Logger) ([]int32, int64, float64, *RecoveryReport, error) {
 
 	rep.Degraded = true
 	rep.FailoverIteration = done
 	if tr != nil {
 		tr.Fault("recovery:failover-cpu", 0)
+	}
+	if lg.Enabled(slog.LevelInfo) {
+		lg.Event(ctx, obslog.EvFailover, slog.Int("gpu_iters", done),
+			slog.Int("remaining", iters-done))
 	}
 	c, err := aco.New(in, p)
 	if err != nil {

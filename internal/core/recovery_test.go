@@ -19,7 +19,7 @@ func faultFreeRun(t *testing.T, in *tsp.Instance, p aco.Params, iters int) ([]in
 	t.Helper()
 	dev := cuda.TeslaM2050()
 	tour, l, _, _, err := core.RunRecovered(context.Background(), dev, in, p,
-		core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil)
+		core.TourNNSharedTexture, core.PherAtomicShared, iters, core.RecoveryOptions{}, nil, nil, nil)
 	if err != nil {
 		t.Fatalf("fault-free run: %v", err)
 	}
@@ -56,7 +56,7 @@ func TestRecoveredMatchesFaultFree(t *testing.T) {
 			dev.Faults = tc.plan.Clone()
 			tour, l, _, rep, err := core.RunRecovered(context.Background(), dev, in, p,
 				core.TourNNSharedTexture, core.PherAtomicShared, recoverIters,
-				core.RecoveryOptions{}, nil, nil)
+				core.RecoveryOptions{}, nil, nil, nil)
 			if err != nil {
 				t.Fatalf("recovered run: %v (report: %s)", err, rep)
 			}
@@ -97,7 +97,7 @@ func TestRecoveredDeterminism(t *testing.T) {
 		dev.Faults = plan.Clone()
 		tour, l, secs, rep, err := core.RunRecovered(context.Background(), dev, in, p,
 			core.TourNNSharedTexture, core.PherAtomicShared, recoverIters,
-			core.RecoveryOptions{}, nil, nil)
+			core.RecoveryOptions{}, nil, nil, nil)
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}
@@ -129,7 +129,7 @@ func TestFailoverToCPU(t *testing.T) {
 	tr := trace.NewCollector()
 	tour, l, secs, rep, err := core.RunRecovered(context.Background(), dev, in, p,
 		core.TourNNSharedTexture, core.PherAtomicShared, recoverIters,
-		core.RecoveryOptions{MaxConsecutiveFaults: 3}, tr, nil)
+		core.RecoveryOptions{MaxConsecutiveFaults: 3}, tr, nil, nil)
 	if err != nil {
 		t.Fatalf("failover run: %v", err)
 	}
@@ -178,7 +178,7 @@ func TestWatchdogBudgetFailover(t *testing.T) {
 
 	_, _, _, rep, err := core.RunRecovered(context.Background(), dev, in, p,
 		core.TourNNSharedTexture, core.PherAtomicShared, 2,
-		core.RecoveryOptions{MaxConsecutiveFaults: 2}, nil, nil)
+		core.RecoveryOptions{MaxConsecutiveFaults: 2}, nil, nil, nil)
 	if err != nil {
 		t.Fatalf("watchdog budget run: %v", err)
 	}
@@ -197,7 +197,7 @@ func TestDisableFailover(t *testing.T) {
 
 	_, _, _, _, err := core.RunRecovered(context.Background(), dev, in, p,
 		core.TourNNSharedTexture, core.PherAtomicShared, 2,
-		core.RecoveryOptions{MaxConsecutiveFaults: 2, DisableFailover: true}, nil, nil)
+		core.RecoveryOptions{MaxConsecutiveFaults: 2, DisableFailover: true}, nil, nil, nil)
 	if !errors.Is(err, cuda.ErrLaunchFailed) {
 		t.Fatalf("got %v, want ErrLaunchFailed", err)
 	}
@@ -213,7 +213,7 @@ func TestRecoveredCancellation(t *testing.T) {
 	dev := cuda.TeslaM2050()
 	_, _, _, _, err := core.RunRecovered(ctx, dev, in, p,
 		core.TourNNSharedTexture, core.PherAtomicShared, recoverIters,
-		core.RecoveryOptions{}, nil, nil)
+		core.RecoveryOptions{}, nil, nil, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
@@ -272,7 +272,7 @@ func TestRecoverySoak(t *testing.T) {
 		dev := cuda.TeslaM2050()
 		dev.Faults = &cuda.FaultPlan{Seed: 31, LaunchRate: rate, WatchdogRate: rate / 2, ECCRate: rate / 2}
 		tour, l, _, rep, err := core.RunRecovered(context.Background(), dev, in, p,
-			core.TourNNSharedTexture, core.PherAtomicShared, 4, core.RecoveryOptions{}, nil, nil)
+			core.TourNNSharedTexture, core.PherAtomicShared, 4, core.RecoveryOptions{}, nil, nil, nil)
 		if err != nil {
 			t.Fatalf("rate %.2f: %v (report: %s)", rate, err, rep)
 		}

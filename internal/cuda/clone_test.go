@@ -13,6 +13,7 @@ func TestCloneCopiesAllExportedFields(t *testing.T) {
 	src.Faults = &FaultPlan{Seed: 5, LaunchRate: 0.1}
 	src.Observer = launchRecorder{}
 	src.Metrics = launchRecorder{}
+	src.Log = launchRecorder{}
 	c := src.Clone()
 
 	sv := reflect.ValueOf(src).Elem()
@@ -31,6 +32,10 @@ func TestCloneCopiesAllExportedFields(t *testing.T) {
 		case "Metrics":
 			if c.Metrics != nil {
 				t.Error("Clone copied the Metrics hook; clones must start uninstrumented")
+			}
+		case "Log":
+			if c.Log != nil {
+				t.Error("Clone copied the Log hook; clones must start uninstrumented")
 			}
 		case "Faults":
 			if c.Faults == src.Faults {

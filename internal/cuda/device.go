@@ -84,6 +84,11 @@ type Device struct {
 	// engines manage Observer, the solve facade manages Metrics.
 	Metrics LaunchObserver
 
+	// Log, when non-nil, also receives every completed launch — the
+	// structured-logging hook (see internal/obslog). Like Metrics it is a
+	// facade-managed slot, independent of the engine-managed Observer.
+	Log LaunchObserver
+
 	// Faults, when non-nil, injects deterministic faults into launches and
 	// allocations on this device (see fault.go).
 	Faults *FaultPlan

@@ -185,6 +185,9 @@ func Launch(dev *Device, cfg LaunchConfig, name string, k Kernel) (*LaunchResult
 	if dev.Metrics != nil {
 		dev.Metrics.ObserveLaunch(&cfg, res)
 	}
+	if dev.Log != nil {
+		dev.Log.ObserveLaunch(&cfg, res)
+	}
 	return res, nil
 }
 

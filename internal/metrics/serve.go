@@ -49,12 +49,27 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // with the metrics exposition on one mux and wants the same bound-listener
 // and graceful-Close lifecycle.
 func ServeHandler(addr string, h http.Handler) (*Server, error) {
+	return ServeHandlerNotify(addr, h, nil)
+}
+
+// ServeHandlerNotify is ServeHandler with an asynchronous error callback:
+// if the accept loop dies after the listener was bound (a mid-run failure
+// Serve's error return can never report), onErr is invoked once with the
+// error. The routine shutdown sentinel http.ErrServerClosed — what Serve
+// returns after a graceful Close — is filtered out, so onErr only fires for
+// genuine failures. A nil onErr restores ServeHandler's drop-it behaviour.
+func ServeHandlerNotify(addr string, h http.Handler, onErr func(error)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
+	go func() {
+		err := srv.Serve(ln)
+		if onErr != nil && err != nil && err != http.ErrServerClosed {
+			onErr(err)
+		}
+	}()
 	return &Server{ln: ln, srv: srv}, nil
 }
 

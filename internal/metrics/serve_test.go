@@ -67,6 +67,44 @@ func TestServeBadAddr(t *testing.T) {
 	}
 }
 
+// TestServeHandlerNotify: the onErr callback must fire when the accept
+// loop dies out from under a bound server (simulated by closing the
+// listener directly), and must stay silent for a graceful Close —
+// http.ErrServerClosed is routine shutdown, not a failure.
+func TestServeHandlerNotify(t *testing.T) {
+	t.Run("accept loop failure", func(t *testing.T) {
+		errs := make(chan error, 1)
+		srv, err := ServeHandlerNotify("127.0.0.1:0", http.NotFoundHandler(), func(err error) { errs <- err })
+		if err != nil {
+			t.Fatalf("ServeHandlerNotify: %v", err)
+		}
+		srv.ln.Close() // kill the accept loop without a graceful Shutdown
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("onErr invoked with nil error")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("onErr not invoked after accept loop died")
+		}
+	})
+	t.Run("graceful close is silent", func(t *testing.T) {
+		errs := make(chan error, 1)
+		srv, err := ServeHandlerNotify("127.0.0.1:0", http.NotFoundHandler(), func(err error) { errs <- err })
+		if err != nil {
+			t.Fatalf("ServeHandlerNotify: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		select {
+		case err := <-errs:
+			t.Fatalf("onErr invoked on graceful Close: %v", err)
+		case <-time.After(200 * time.Millisecond):
+		}
+	})
+}
+
 func TestHandlerNilRegistry(t *testing.T) {
 	srv, err := Serve("127.0.0.1:0", nil)
 	if err != nil {

@@ -1,0 +1,261 @@
+package obslog
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightSize is the per-ring record capacity when NewFlight is
+// given a non-positive size.
+const DefaultFlightSize = 256
+
+// maxFlightJobs bounds how many per-job rings a Flight keeps. Jobs beyond
+// the cap still appear in the global tail; they just don't get a dedicated
+// ring. The service evicts rings with DropJob when it evicts job records,
+// so the cap only bites when eviction is outpaced by churn.
+const maxFlightJobs = 4096
+
+// FlightRecord is one event captured by the flight recorder. Seq is a
+// process-global sequence number: records from different rings sort into
+// one consistent timeline by Seq.
+type FlightRecord struct {
+	Seq   uint64
+	Time  time.Time
+	Level slog.Level
+	Event string
+	Corr  Correlation
+	Attrs []slog.Attr
+}
+
+// ring is a fixed-size lock-free buffer of the last len(slots) records.
+// Writers claim a slot with one atomic add and publish the record with one
+// atomic pointer store; readers snapshot whatever is published. A reader
+// racing a lapping writer may see the old or the new record for a slot —
+// either is a valid "last N events" view.
+type ring struct {
+	pos   atomic.Uint64
+	slots []atomic.Pointer[FlightRecord]
+}
+
+func newRing(n int) *ring {
+	return &ring{slots: make([]atomic.Pointer[FlightRecord], n)}
+}
+
+func (r *ring) add(rec *FlightRecord) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+func (r *ring) snapshot() []FlightRecord {
+	out := make([]FlightRecord, 0, len(r.slots))
+	for i := range r.slots {
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Flight is the crash flight recorder: a global ring with the last N
+// events of the whole process plus one ring per job. Recording is
+// lock-free and allocation-bounded (one record per event), safe from any
+// goroutine including panic and signal handlers.
+type Flight struct {
+	seq      atomic.Uint64
+	global   *ring
+	perJob   int
+	jobs     sync.Map // jobID string -> *ring
+	jobCount atomic.Int64
+}
+
+// NewFlight returns a recorder keeping the last n events globally and the
+// last n per job (DefaultFlightSize when n <= 0).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = DefaultFlightSize
+	}
+	return &Flight{global: newRing(n), perJob: n}
+}
+
+func (f *Flight) add(now time.Time, level slog.Level, event string, corr Correlation, attrs []slog.Attr) {
+	rec := &FlightRecord{
+		Seq:   f.seq.Add(1),
+		Time:  now,
+		Level: level,
+		Event: event,
+		Corr:  corr,
+		Attrs: attrs,
+	}
+	f.global.add(rec)
+	if corr.JobID == "" {
+		return
+	}
+	r, ok := f.jobs.Load(corr.JobID)
+	if !ok {
+		if f.jobCount.Load() >= maxFlightJobs {
+			return
+		}
+		var loaded bool
+		r, loaded = f.jobs.LoadOrStore(corr.JobID, newRing(f.perJob))
+		if !loaded {
+			f.jobCount.Add(1)
+		}
+	}
+	r.(*ring).add(rec)
+}
+
+// Tail returns the global ring's records in sequence order.
+func (f *Flight) Tail() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	return f.global.snapshot()
+}
+
+// Job returns the job's ring in sequence order, or nil when the job never
+// recorded an event (or its ring was dropped).
+func (f *Flight) Job(jobID string) []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	r, ok := f.jobs.Load(jobID)
+	if !ok {
+		return nil
+	}
+	return r.(*ring).snapshot()
+}
+
+// DropJob discards the job's ring — called when the service evicts the
+// job record, so ring retention tracks job retention.
+func (f *Flight) DropJob(jobID string) {
+	if f == nil {
+		return
+	}
+	if _, ok := f.jobs.LoadAndDelete(jobID); ok {
+		f.jobCount.Add(-1)
+	}
+}
+
+// WriteTail writes the global ring as NDJSON (one event per line).
+func (f *Flight) WriteTail(w io.Writer) error {
+	for _, rec := range f.Tail() {
+		if err := rec.writeJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJob writes the job's ring as NDJSON.
+func (f *Flight) WriteJob(w io.Writer, jobID string) error {
+	for _, rec := range f.Job(jobID) {
+		if err := rec.writeJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the recorder over HTTP: the global tail by default, one
+// job's ring with ?job=<id>. NDJSON, newest last — the live view of the
+// same data a crash dump would contain.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if job := r.URL.Query().Get("job"); job != "" {
+			_ = f.WriteJob(w, job)
+			return
+		}
+		_ = f.WriteTail(w)
+	})
+}
+
+// writeJSON renders the record as one JSON line. Field order is fixed so
+// dumps diff cleanly; attr values are rendered by kind without reflection
+// for the common kinds.
+func (r *FlightRecord) writeJSON(w io.Writer) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, r.Seq, 10)
+	buf = append(buf, `,"ts":"`...)
+	buf = r.Time.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":`...)
+	buf = appendJSONString(buf, r.Level.String())
+	buf = append(buf, `,"event":`...)
+	buf = appendJSONString(buf, r.Event)
+	if r.Corr.RequestID != "" {
+		buf = append(buf, `,"request_id":`...)
+		buf = appendJSONString(buf, r.Corr.RequestID)
+	}
+	if r.Corr.JobID != "" {
+		buf = append(buf, `,"job_id":`...)
+		buf = appendJSONString(buf, r.Corr.JobID)
+	}
+	if r.Corr.Island >= 0 {
+		buf = append(buf, `,"island":`...)
+		buf = strconv.AppendInt(buf, int64(r.Corr.Island), 10)
+	}
+	if r.Corr.Attempt > 0 {
+		buf = append(buf, `,"attempt":`...)
+		buf = strconv.AppendInt(buf, int64(r.Corr.Attempt), 10)
+	}
+	for _, a := range r.Attrs {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, a.Key)
+		buf = append(buf, ':')
+		buf = appendAttrValue(buf, a.Value)
+	}
+	buf = append(buf, "}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendAttrValue(buf []byte, v slog.Value) []byte {
+	v = v.Resolve()
+	switch v.Kind() {
+	case slog.KindString:
+		return appendJSONString(buf, v.String())
+	case slog.KindInt64:
+		return strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		return strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindBool:
+		return strconv.AppendBool(buf, v.Bool())
+	case slog.KindFloat64:
+		f := v.Float64()
+		// NaN and infinities are not valid JSON numbers.
+		if f != f || f > 1.7976931348623157e308 || f < -1.7976931348623157e308 {
+			return appendJSONString(buf, strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		return strconv.AppendFloat(buf, f, 'g', -1, 64)
+	case slog.KindDuration:
+		return appendJSONString(buf, v.Duration().String())
+	case slog.KindTime:
+		buf = append(buf, '"')
+		buf = v.Time().UTC().AppendFormat(buf, time.RFC3339Nano)
+		return append(buf, '"')
+	default:
+		return appendJSONString(buf, v.String())
+	}
+}
+
+func appendJSONString(buf []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return append(buf, `"?"`...)
+	}
+	return append(buf, b...)
+}

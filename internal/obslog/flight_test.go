@@ -1,0 +1,220 @@
+package obslog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func addEvent(f *Flight, jobID, event string) {
+	f.add(time.Now(), slog.LevelInfo, event, Correlation{RequestID: "req", JobID: jobID, Island: -1}, nil)
+}
+
+func TestFlightKeepsLastN(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		addEvent(f, "job-1", fmt.Sprintf("ev%d", i))
+	}
+	tail := f.Tail()
+	if len(tail) != 4 {
+		t.Fatalf("tail has %d records, want 4", len(tail))
+	}
+	for i, rec := range tail {
+		want := fmt.Sprintf("ev%d", 6+i)
+		if rec.Event != want {
+			t.Errorf("tail[%d] = %q, want %q", i, rec.Event, want)
+		}
+		if i > 0 && tail[i-1].Seq >= rec.Seq {
+			t.Errorf("tail not in sequence order at %d: %d then %d", i, tail[i-1].Seq, rec.Seq)
+		}
+	}
+	if got := f.Job("job-1"); len(got) != 4 {
+		t.Fatalf("job ring has %d records, want 4", len(got))
+	}
+}
+
+func TestFlightPerJobIsolation(t *testing.T) {
+	f := NewFlight(8)
+	addEvent(f, "job-a", "a1")
+	addEvent(f, "job-b", "b1")
+	addEvent(f, "job-a", "a2")
+	addEvent(f, "", "global-only")
+
+	if got := f.Job("job-a"); len(got) != 2 || got[0].Event != "a1" || got[1].Event != "a2" {
+		t.Fatalf("job-a ring = %+v", got)
+	}
+	if got := f.Job("job-b"); len(got) != 1 || got[0].Event != "b1" {
+		t.Fatalf("job-b ring = %+v", got)
+	}
+	if got := f.Job("job-absent"); got != nil {
+		t.Fatalf("absent job ring = %+v, want nil", got)
+	}
+	if got := f.Tail(); len(got) != 4 {
+		t.Fatalf("global tail has %d records, want 4", len(got))
+	}
+
+	f.DropJob("job-a")
+	if got := f.Job("job-a"); got != nil {
+		t.Fatalf("dropped job still has records: %+v", got)
+	}
+	// The global tail keeps them.
+	if got := f.Tail(); len(got) != 4 {
+		t.Fatalf("global tail after drop has %d records, want 4", len(got))
+	}
+	// Dropping twice (or an unknown job) is harmless.
+	f.DropJob("job-a")
+	f.DropJob("job-never")
+}
+
+// TestFlightConcurrent hammers the ring from many goroutines while readers
+// snapshot — meant to run under -race (the CI obslog step does).
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(32)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Tail()
+				f.Job("job-0")
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			job := fmt.Sprintf("job-%d", w%2)
+			for i := 0; i < perWriter; i++ {
+				addEvent(f, job, "ev")
+			}
+		}(w)
+	}
+	// Writers finish on their own; readers need the stop signal. Release
+	// them once every writer's records are in.
+	for f.seq.Load() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	tail := f.Tail()
+	if len(tail) != 32 {
+		t.Fatalf("tail has %d records, want 32", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i-1].Seq >= tail[i].Seq {
+			t.Fatalf("tail out of order at %d", i)
+		}
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlight(8)
+	f.add(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC), slog.LevelWarn, EvFault,
+		Correlation{RequestID: "req-1", JobID: "job-1", Island: 2, Attempt: 1},
+		[]slog.Attr{
+			slog.String("kind", "ecc"),
+			slog.Int("iter", 40),
+			slog.Float64("ratio", 0.5),
+			slog.Bool("sticky", true),
+			slog.Duration("backoff", 5*time.Millisecond),
+			slog.Any("err", fmt.Errorf("device fault")),
+		})
+	var buf bytes.Buffer
+	if err := f.WriteJob(&buf, "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("dump line not JSON: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"event": EvFault, "level": "WARN", "request_id": "req-1", "job_id": "job-1",
+		"island": float64(2), "attempt": float64(1), "kind": "ecc", "iter": float64(40),
+		"ratio": float64(0.5), "sticky": true, "backoff": "5ms", "err": "device fault",
+		"ts": "2026-08-08T12:00:00Z",
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("field %q = %v (%T), want %v", k, m[k], m[k], v)
+		}
+	}
+	if _, ok := m["seq"]; !ok {
+		t.Errorf("dump line missing seq: %s", line)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlight(8)
+	lg := New(nil, Options{Level: slog.Level(127), Flight: f})
+	ctxA := WithCorrelation(context.Background(), Correlation{RequestID: "ra", JobID: "job-a"})
+	ctxB := WithCorrelation(context.Background(), Correlation{RequestID: "rb", JobID: "job-b"})
+	lg.Event(ctxA, EvAdmit)
+	lg.Event(ctxB, EvAdmit)
+	lg.Event(ctxA, EvDone)
+
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	get := func(url string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	all := get(srv.URL)
+	if got := strings.Count(all, "\n"); got != 3 {
+		t.Fatalf("global view has %d lines, want 3:\n%s", got, all)
+	}
+	jobA := get(srv.URL + "?job=job-a")
+	if got := strings.Count(jobA, "\n"); got != 2 {
+		t.Fatalf("job-a view has %d lines, want 2:\n%s", got, jobA)
+	}
+	if strings.Contains(jobA, `"job_id":"job-b"`) {
+		t.Fatalf("job-a view leaked job-b events:\n%s", jobA)
+	}
+	if empty := get(srv.URL + "?job=nope"); empty != "" {
+		t.Fatalf("unknown job view non-empty: %s", empty)
+	}
+
+	resp, err := srv.Client().Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,271 @@
+// Package obslog is the request-scoped structured-logging and correlation
+// layer of the solver stack. It is dependency-free (standard library only,
+// built on log/slog) and opt-in end to end: a nil *Logger is a valid
+// disabled logger whose methods are no-ops, so instrumented code guards a
+// single pointer — the same zero-overhead contract as internal/metrics.
+//
+// The unit of correlation is a Correlation value — request ID, job ID,
+// island and retry attempt — carried through context.Context from the HTTP
+// adapter (X-Request-ID in, generated when absent, echoed out) through
+// service admission, pool dispatch, the fault-tolerant and island runtimes,
+// and down to the simulated device's launch observer. Every event any layer
+// emits is one JSON line keyed by the same request ID, so a bad request can
+// be followed across the whole stack with one grep.
+//
+// The companion Flight recorder (flight.go) keeps the last N events per job
+// plus a global tail in fixed-size lock-free ring buffers, dumpable on
+// panic, SIGQUIT or terminal job failure — the events leading up to a crash
+// survive even when the log stream itself is off or lost.
+package obslog
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Event names — the taxonomy every layer draws from, so a stream of mixed
+// producers stays greppable. The service layer owns the admission and
+// lifecycle events, the pool owns dispatch, the recovery/island runtimes
+// own the fault family, and the facade owns the solve and kernel events.
+const (
+	EvAdmit      = "admit"       // job admitted by the service
+	EvReject     = "reject"      // submission rejected (attr "reason")
+	EvDispatch   = "dispatch"    // picked up by a pool worker (attr "queue_wait_s")
+	EvSolveStart = "solve_start" // solver entry (debug)
+	EvSolveEnd   = "solve_end"   // solver exit (debug)
+	EvKernel     = "kernel"      // one simulated kernel launch (debug)
+	EvCheckpoint = "checkpoint"  // iteration checkpoint taken (debug)
+	EvFault      = "fault"       // device fault observed (attr "kind")
+	EvRetry      = "retry"       // iteration retried after a fault
+	EvReset      = "reset"       // device reset (ECC / sticky poisoning)
+	EvFailover   = "failover"    // degraded to the CPU colony
+	EvMigration  = "migration"   // island ring migration (attr "outcome")
+	EvRestart    = "restart"     // stagnation-triggered trail restart
+	EvQuarantine = "quarantine"  // island removed from the run
+	EvRespawn    = "respawn"     // island resumed on a fresh device
+	EvDone       = "done"        // job reached a terminal success state
+	EvFailed     = "failed"      // job reached a terminal failure state
+	EvCancelled  = "cancelled"   // job cancelled by a client or drain
+	EvEvict      = "evict"       // terminal job record evicted (TTL / cap)
+	EvDrain      = "drain"       // service drain started / finished
+	EvFlightDump = "flight_dump" // flight-recorder dump written
+)
+
+// Correlation identifies the request behind an event. It travels via
+// context.Context (WithCorrelation / FromContext) so every layer below the
+// transport can stamp its events without new parameters on every call.
+type Correlation struct {
+	// RequestID is the client-visible request identity: the X-Request-ID
+	// header when the client sent one, otherwise generated at admission and
+	// echoed back on the response.
+	RequestID string
+	// JobID is the service's job identity ("job-17"), assigned at admission.
+	JobID string
+	// Island is the island index for events inside an island run; -1 (the
+	// value FromContext defaults to) means not an island run.
+	Island int
+	// Attempt is the retry attempt at the current iteration: 0 on the first
+	// try, n on the n-th retry after a fault.
+	Attempt int
+}
+
+type ctxKey struct{}
+
+// WithCorrelation returns a context carrying the correlation.
+func WithCorrelation(ctx context.Context, c Correlation) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the context's correlation and whether one was set.
+// When absent, the returned zero correlation has Island -1.
+func FromContext(ctx context.Context) (Correlation, bool) {
+	if ctx != nil {
+		if c, ok := ctx.Value(ctxKey{}).(Correlation); ok {
+			return c, true
+		}
+	}
+	return Correlation{Island: -1}, false
+}
+
+// WithIsland returns a context whose correlation carries the island index
+// (keeping the rest of any existing correlation).
+func WithIsland(ctx context.Context, island int) context.Context {
+	c, _ := FromContext(ctx)
+	c.Island = island
+	return WithCorrelation(ctx, c)
+}
+
+// WithAttempt returns a context whose correlation carries the retry attempt.
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	c, _ := FromContext(ctx)
+	c.Attempt = attempt
+	return WithCorrelation(ctx, c)
+}
+
+// reqSeq disambiguates generated request IDs if the random source ever
+// fails; it also makes IDs unique within a process on the fallback path.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID for requests
+// that arrived without one.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d-%d", time.Now().UnixNano(), reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Options configure a Logger.
+type Options struct {
+	// Level is the minimum level emitted to the writer (default
+	// slog.LevelInfo). The flight recorder captures every event regardless,
+	// so debug-level detail is recoverable from a crash dump even when the
+	// stream only carries info and above.
+	Level slog.Leveler
+	// Flight, when non-nil, additionally records every event (all levels)
+	// in the flight recorder's ring buffers.
+	Flight *Flight
+	// Crash is where CrashDump writes flight-recorder dumps (default
+	// os.Stderr).
+	Crash io.Writer
+}
+
+// Logger emits structured JSON event lines with the context's correlation
+// attached. A nil *Logger is a valid disabled logger: every method is a
+// no-op, and hot paths that build attrs should guard with Enabled so the
+// disabled path costs one pointer comparison and zero allocations.
+type Logger struct {
+	h      slog.Handler
+	flight *Flight
+	crash  io.Writer
+}
+
+// New returns a Logger writing one JSON line per event to w. A nil w
+// discards the stream — useful for flight-recorder-only loggers.
+func New(w io.Writer, opts Options) *Logger {
+	if w == nil {
+		w = io.Discard
+	}
+	level := opts.Level
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	crash := opts.Crash
+	if crash == nil {
+		crash = os.Stderr
+	}
+	return &Logger{
+		h:      slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}),
+		flight: opts.Flight,
+		crash:  crash,
+	}
+}
+
+// Enabled reports whether events at the level would be recorded (by the
+// stream or the flight recorder). A nil logger reports false — the guard
+// for hot paths.
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	if l.flight != nil {
+		return true
+	}
+	return l.h.Enabled(context.Background(), level)
+}
+
+// Flight returns the logger's flight recorder, or nil.
+func (l *Logger) Flight() *Flight {
+	if l == nil {
+		return nil
+	}
+	return l.flight
+}
+
+// Event emits one info-level event with the context's correlation.
+func (l *Logger) Event(ctx context.Context, event string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.log(ctx, slog.LevelInfo, event, attrs)
+}
+
+// Debug emits one debug-level event (kernel launches, checkpoints).
+func (l *Logger) Debug(ctx context.Context, event string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.log(ctx, slog.LevelDebug, event, attrs)
+}
+
+// Error emits one error-level event.
+func (l *Logger) Error(ctx context.Context, event string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.log(ctx, slog.LevelError, event, attrs)
+}
+
+func (l *Logger) log(ctx context.Context, level slog.Level, event string, attrs []slog.Attr) {
+	corr, _ := FromContext(ctx)
+	now := time.Now()
+	if l.flight != nil {
+		l.flight.add(now, level, event, corr, attrs)
+	}
+	if !l.h.Enabled(ctx, level) {
+		return
+	}
+	rec := slog.NewRecord(now, level, event, 0)
+	if corr.RequestID != "" {
+		rec.AddAttrs(slog.String("request_id", corr.RequestID))
+	}
+	if corr.JobID != "" {
+		rec.AddAttrs(slog.String("job_id", corr.JobID))
+	}
+	if corr.Island >= 0 {
+		rec.AddAttrs(slog.Int("island", corr.Island))
+	}
+	if corr.Attempt > 0 {
+		rec.AddAttrs(slog.Int("attempt", corr.Attempt))
+	}
+	rec.AddAttrs(attrs...)
+	_ = l.h.Handle(ctx, rec)
+}
+
+// CrashDump writes the flight recorder's global tail to the crash writer,
+// framed by a header line naming the reason — the SIGQUIT / panic hook.
+// No-op without a flight recorder.
+func (l *Logger) CrashDump(reason string) {
+	if l == nil || l.flight == nil {
+		return
+	}
+	fmt.Fprintf(l.crash, "=== antgpu flight recorder dump (%s) ===\n", reason)
+	_ = l.flight.WriteTail(l.crash)
+	fmt.Fprintf(l.crash, "=== end flight recorder dump ===\n")
+}
+
+// CrashDumpJob writes one job's flight-recorder ring to the crash writer —
+// the terminal-job-failure hook. No-op without a flight recorder or when
+// the job recorded no events.
+func (l *Logger) CrashDumpJob(jobID, reason string) {
+	if l == nil || l.flight == nil {
+		return
+	}
+	recs := l.flight.Job(jobID)
+	if len(recs) == 0 {
+		return
+	}
+	fmt.Fprintf(l.crash, "=== antgpu flight recorder dump for %s (%s) ===\n", jobID, reason)
+	for i := range recs {
+		_ = recs[i].writeJSON(l.crash)
+	}
+	fmt.Fprintf(l.crash, "=== end flight recorder dump ===\n")
+}

@@ -1,0 +1,211 @@
+package obslog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestCorrelationContext(t *testing.T) {
+	c, ok := FromContext(context.Background())
+	if ok {
+		t.Fatalf("FromContext on empty ctx: ok = true")
+	}
+	if c.Island != -1 {
+		t.Fatalf("default Island = %d, want -1", c.Island)
+	}
+
+	ctx := WithCorrelation(context.Background(), Correlation{RequestID: "r1", JobID: "job-1", Island: -1})
+	c, ok = FromContext(ctx)
+	if !ok || c.RequestID != "r1" || c.JobID != "job-1" {
+		t.Fatalf("FromContext = %+v, %v", c, ok)
+	}
+
+	ctx2 := WithIsland(ctx, 3)
+	c, _ = FromContext(ctx2)
+	if c.Island != 3 || c.RequestID != "r1" {
+		t.Fatalf("WithIsland lost fields: %+v", c)
+	}
+	ctx3 := WithAttempt(ctx2, 2)
+	c, _ = FromContext(ctx3)
+	if c.Attempt != 2 || c.Island != 3 || c.RequestID != "r1" || c.JobID != "job-1" {
+		t.Fatalf("WithAttempt lost fields: %+v", c)
+	}
+	// The parent context is unchanged.
+	c, _ = FromContext(ctx)
+	if c.Island != -1 || c.Attempt != 0 {
+		t.Fatalf("parent ctx mutated: %+v", c)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("NewRequestID() = %q, want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLoggerEmitsCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Options{})
+	ctx := WithCorrelation(context.Background(), Correlation{RequestID: "req-a", JobID: "job-9", Island: 2, Attempt: 1})
+	lg.Event(ctx, EvFault, slog.String("kind", "ecc"), slog.Int("iter", 7))
+
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, buf.String())
+	}
+	want := map[string]any{
+		"msg": EvFault, "request_id": "req-a", "job_id": "job-9",
+		"island": float64(2), "attempt": float64(1), "kind": "ecc", "iter": float64(7),
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("field %q = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Options{Level: slog.LevelInfo})
+	lg.Debug(context.Background(), EvKernel)
+	if buf.Len() != 0 {
+		t.Fatalf("debug emitted at info level: %s", buf.String())
+	}
+	if lg.Enabled(slog.LevelDebug) {
+		t.Fatalf("Enabled(debug) = true without flight recorder at info level")
+	}
+	if !lg.Enabled(slog.LevelInfo) {
+		t.Fatalf("Enabled(info) = false")
+	}
+
+	// A flight recorder makes every level worth producing: the ring captures
+	// what the stream filters out.
+	fl := NewFlight(8)
+	lg2 := New(&buf, Options{Level: slog.LevelInfo, Flight: fl})
+	if !lg2.Enabled(slog.LevelDebug) {
+		t.Fatalf("Enabled(debug) = false with flight recorder")
+	}
+	lg2.Debug(context.Background(), EvKernel)
+	if buf.Len() != 0 {
+		t.Fatalf("debug leaked to stream: %s", buf.String())
+	}
+	if got := len(fl.Tail()); got != 1 {
+		t.Fatalf("flight captured %d records, want 1", got)
+	}
+}
+
+func TestNilLoggerIsNoop(t *testing.T) {
+	var lg *Logger
+	ctx := context.Background()
+	lg.Event(ctx, EvAdmit)
+	lg.Debug(ctx, EvKernel)
+	lg.Error(ctx, EvFailed)
+	lg.CrashDump("test")
+	lg.CrashDumpJob("job-1", "test")
+	if lg.Enabled(slog.LevelError) {
+		t.Fatalf("nil logger Enabled = true")
+	}
+	if lg.Flight() != nil {
+		t.Fatalf("nil logger Flight() != nil")
+	}
+}
+
+// TestDisabledLoggerZeroAllocs pins the opt-out contract: a hot path that
+// guards with Enabled before building attrs must not allocate when the
+// logger is nil.
+func TestDisabledLoggerZeroAllocs(t *testing.T) {
+	var lg *Logger
+	ctx := context.Background()
+	n := testing.AllocsPerRun(1000, func() {
+		if lg.Enabled(slog.LevelDebug) {
+			lg.Debug(ctx, EvKernel, slog.String("kernel", "tour"), slog.Int("grid", 64))
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled logger hot path allocates %.1f per op, want 0", n)
+	}
+}
+
+func BenchmarkDisabledLogger(b *testing.B) {
+	var lg *Logger
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if lg.Enabled(slog.LevelDebug) {
+			lg.Debug(ctx, EvKernel, slog.String("kernel", "tour"), slog.Int("grid", 64))
+		}
+	}
+}
+
+func BenchmarkEnabledLoggerFlightOnly(b *testing.B) {
+	lg := New(nil, Options{Level: slog.Level(127), Flight: NewFlight(256)})
+	ctx := WithCorrelation(context.Background(), Correlation{RequestID: "req", JobID: "job-1"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if lg.Enabled(slog.LevelDebug) {
+			lg.Debug(ctx, EvKernel, slog.String("kernel", "tour"), slog.Int("grid", 64))
+		}
+	}
+}
+
+func TestCrashDump(t *testing.T) {
+	var crash bytes.Buffer
+	fl := NewFlight(16)
+	lg := New(nil, Options{Level: slog.Level(127), Flight: fl, Crash: &crash})
+	ctx := WithCorrelation(context.Background(), Correlation{RequestID: "req-crash", JobID: "job-3"})
+	lg.Event(ctx, EvFault, slog.String("kind", "ecc"))
+	lg.Event(ctx, EvFailed)
+
+	lg.CrashDump("panic: test")
+	out := crash.String()
+	if !strings.Contains(out, "flight recorder dump (panic: test)") {
+		t.Fatalf("dump missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "end flight recorder dump") {
+		t.Fatalf("dump missing footer:\n%s", out)
+	}
+	for _, line := range dumpLines(out) {
+		if !strings.Contains(line, `"request_id":"req-crash"`) {
+			t.Fatalf("dump line missing request id: %s", line)
+		}
+	}
+
+	crash.Reset()
+	lg.CrashDumpJob("job-3", "terminal failure")
+	out = crash.String()
+	if !strings.Contains(out, "dump for job-3") {
+		t.Fatalf("job dump missing header:\n%s", out)
+	}
+	if got := len(dumpLines(out)); got != 2 {
+		t.Fatalf("job dump has %d event lines, want 2:\n%s", got, out)
+	}
+
+	crash.Reset()
+	lg.CrashDumpJob("job-missing", "terminal failure")
+	if crash.Len() != 0 {
+		t.Fatalf("dump for unknown job wrote output:\n%s", crash.String())
+	}
+}
+
+// dumpLines returns the JSON event lines of a framed crash dump.
+func dumpLines(dump string) []string {
+	var out []string
+	for _, line := range strings.Split(dump, "\n") {
+		if strings.HasPrefix(line, "{") {
+			out = append(out, line)
+		}
+	}
+	return out
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+
+	"antgpu/internal/obslog"
 )
 
 // Handler returns the HTTP/JSON adapter:
@@ -14,6 +16,7 @@ import (
 //	GET    /v1/jobs             list jobs in submission order
 //	GET    /v1/jobs/{id}        poll one job's status/result
 //	GET    /v1/jobs/{id}/events stream convergence events over SSE
+//	GET    /v1/jobs/{id}/log    the job's flight-recorder events as NDJSON
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             "ok" (200) or "draining" (503)
 //
@@ -21,6 +24,12 @@ import (
 // limits, 503 for draining, and 400 for invalid requests. The handler only
 // adapts; all behavior lives in the transport-neutral Service methods, and
 // the caller may mount this mux next to the metrics exposition handler.
+//
+// Every request is assigned a correlation: the X-Request-ID header when the
+// client sent one (truncated to maxRequestIDLen), otherwise a generated ID.
+// The ID is echoed back as the X-Request-ID response header and injected
+// into the request context, so a submit's whole solve — admission, queue,
+// every kernel launch — logs under the ID the client holds.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -28,8 +37,30 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/log", s.handleJobLog)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return withRequestID(mux)
+}
+
+// maxRequestIDLen bounds a client-supplied X-Request-ID so an adversarial
+// header cannot bloat every log line of its job.
+const maxRequestIDLen = 128
+
+// withRequestID is the correlation middleware: resolve the request ID,
+// echo it, and carry it in the context for every layer below.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if len(rid) > maxRequestIDLen {
+			rid = rid[:maxRequestIDLen]
+		}
+		if rid == "" {
+			rid = obslog.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		ctx := obslog.WithCorrelation(r.Context(), obslog.Correlation{RequestID: rid, Island: -1})
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // writeJSON writes v with the given status.
@@ -146,6 +177,15 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 
 	_ = s.Stream(r.Context(), id, func(ev Event) error {
+		if ev.Type == "ping" {
+			// SSE comment line: ignored by EventSource clients, but traffic
+			// enough to keep idle proxies from cutting the stream.
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return err
+			}
+			fl.Flush()
+			return nil
+		}
 		var payload any
 		switch ev.Type {
 		case "iteration":
@@ -165,6 +205,23 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return nil
 	})
+}
+
+// handleJobLog serves the job's flight-recorder ring as NDJSON — the HTTP
+// face of Service.JobLog. 404 covers both an unknown job and a service
+// running without a flight recorder.
+func (s *Service) handleJobLog(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Job(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.logger.Flight() == nil {
+		writeError(w, fmt.Errorf("%w: no flight recorder attached, job %q has no log", ErrNotFound, id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	_ = s.JobLog(w, id)
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {

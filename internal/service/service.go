@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,6 +27,7 @@ import (
 
 	"antgpu"
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/tsp"
 )
 
@@ -87,9 +90,25 @@ type Options struct {
 	// the cap. A map full of non-terminal jobs can still exceed the cap —
 	// admission control (MaxQueueDepth) is the bound on those.
 	MaxJobs int
+	// Logger, when non-nil, receives one structured event per admission
+	// decision, job state transition, eviction and drain — each keyed by the
+	// submit's correlation (request ID from the transport, job ID assigned
+	// here) — and is handed to every solve so the solver layers' events carry
+	// the same correlation. When the logger has a flight recorder, each job's
+	// last events are served by JobLog (the HTTP adapter's
+	// GET /v1/jobs/{id}/log) and dumped on terminal job failure. Nil disables
+	// all of it at zero cost.
+	Logger *obslog.Logger
+	// KeepAlive is the idle interval after which Stream emits a keep-alive
+	// event (Type "ping", Seq -1) so transports can keep proxies and clients
+	// from timing out a quiet SSE connection. Zero selects 15 seconds;
+	// negative disables keep-alives.
+	KeepAlive time.Duration
 
 	// now overrides the clock in tests.
 	now func() time.Time
+	// after overrides the keep-alive timer in tests.
+	after func(time.Duration) <-chan time.Time
 }
 
 // SubmitParams are the client-settable Ant System parameters; zero-valued
@@ -127,6 +146,17 @@ type SubmitRequest struct {
 	// IncludeTour returns the best tour's city order in the result (off by
 	// default: a pr2392 tour is ~10 KB per poll).
 	IncludeTour bool `json:"include_tour,omitempty"`
+	// FaultSpec injects deterministic device faults into the solve, in the
+	// cuda.ParseFaultSpec syntax ("rate=0.02,seed=7", "dieat=5,seed=3", …).
+	// Requires backend gpu, algorithm as, and no local_search — the
+	// fault-tolerant runtime's envelope. The debugging workflow: submit a
+	// faulted job with a known request ID, then follow that ID through the
+	// log stream and GET /v1/jobs/{id}/log.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	// NoFailover disables the recovery runtime's CPU degradation, so a solve
+	// that exhausts its retry budget fails terminally instead of completing
+	// on the CPU colony. Same envelope requirements as FaultSpec.
+	NoFailover bool `json:"no_failover,omitempty"`
 }
 
 // JobResult is the solved outcome carried by a terminal JobStatus.
@@ -141,7 +171,11 @@ type JobResult struct {
 
 // JobStatus is a point-in-time snapshot of one job.
 type JobStatus struct {
-	ID         string     `json:"id"`
+	ID string `json:"id"`
+	// RequestID is the correlation key of the submit that created the job:
+	// the X-Request-ID the client sent, or the one generated at admission.
+	// Every log line the job produced carries the same value.
+	RequestID  string     `json:"request_id,omitempty"`
 	State      string     `json:"state"`
 	Instance   string     `json:"instance"`
 	Backend    string     `json:"backend"`
@@ -200,7 +234,10 @@ type Service struct {
 	jobTTL   time.Duration
 	maxJobs  int
 	limiter  *limiter
+	logger   *obslog.Logger
+	keep     time.Duration
 	now      func() time.Time
+	after    func(time.Duration) <-chan time.Time
 
 	queued   atomic.Int64 // admitted, not yet picked up by a pool worker
 	draining atomic.Bool
@@ -236,7 +273,10 @@ func New(opts Options) *Service {
 		maxBytes: opts.MaxUploadBytes,
 		jobTTL:   opts.JobTTL,
 		maxJobs:  opts.MaxJobs,
+		logger:   opts.Logger,
+		keep:     opts.KeepAlive,
 		now:      opts.now,
+		after:    opts.after,
 		jobs:     make(map[string]*job),
 	}
 	if s.maxQueue == 0 {
@@ -254,8 +294,14 @@ func New(opts Options) *Service {
 	if s.maxJobs == 0 {
 		s.maxJobs = 4096
 	}
+	if s.keep == 0 {
+		s.keep = 15 * time.Second
+	}
 	if s.now == nil {
 		s.now = time.Now
+	}
+	if s.after == nil {
+		s.after = time.After
 	}
 	if opts.RatePerSec > 0 {
 		burst := opts.Burst
@@ -303,19 +349,37 @@ func (s *Service) Draining() bool { return s.draining.Load() }
 // error wrapping ErrBadRequest. The request context only covers admission;
 // the job itself runs under the service's lifetime and is cancelled by
 // Cancel or drain, never by the submitting transport connection going away.
+//
+// The context's correlation (obslog.FromContext) keys every event the job
+// will ever log; a missing request ID is filled in here, so even a direct
+// programmatic Submit gets a correlated log stream. The assigned request ID
+// is returned in JobStatus.RequestID (the HTTP adapter additionally echoes
+// it as the X-Request-ID response header).
 func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) (JobStatus, error) {
+	corr, _ := obslog.FromContext(ctx)
+	if corr.RequestID == "" {
+		corr.RequestID = obslog.NewRequestID()
+	}
+	reject := func(reason string, err error) (JobStatus, error) {
+		if s.logger.Enabled(slog.LevelInfo) {
+			s.logger.Event(obslog.WithCorrelation(ctx, corr), obslog.EvReject,
+				slog.String("reason", reason), slog.String("client", client),
+				slog.String("err", err.Error()))
+		}
+		return JobStatus{}, err
+	}
 	if s.draining.Load() {
 		s.rejDrain.Inc()
-		return JobStatus{}, ErrDraining
+		return reject("draining", ErrDraining)
 	}
 	if !s.limiter.allow(client) {
 		s.rejRate.Inc()
-		return JobStatus{}, ErrRateLimited
+		return reject("ratelimit", ErrRateLimited)
 	}
 	in, opts, err := s.buildSolve(req)
 	if err != nil {
 		s.rejBad.Inc()
-		return JobStatus{}, err
+		return reject("invalid", err)
 	}
 	// Atomically reserve a queue slot: Add-then-check never overshoots the
 	// bound under concurrent submits, unlike a read-then-add.
@@ -323,7 +387,7 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 		if s.queued.Add(1) > int64(s.maxQueue) {
 			s.queued.Add(-1)
 			s.rejOver.Inc()
-			return JobStatus{}, ErrOverloaded
+			return reject("overload", ErrOverloaded)
 		}
 	} else {
 		s.queued.Add(1)
@@ -342,12 +406,13 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 		s.queued.Add(-1)
 		cancel()
 		s.rejDrain.Inc()
-		return JobStatus{}, ErrDraining
+		return reject("draining", ErrDraining)
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%d", s.seq)
 	j.status = JobStatus{
 		ID:         id,
+		RequestID:  corr.RequestID,
 		State:      StateQueued,
 		Instance:   in.Name,
 		Backend:    opts.Backend.String(),
@@ -361,6 +426,20 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 	s.wg.Add(1)
 	s.mu.Unlock()
 	s.accepted.Inc()
+
+	// The job runs detached from the submitting transport but keyed by its
+	// correlation: request ID from the submit, job ID assigned above. Every
+	// solver-layer event below flows through the same logger and context.
+	corr.JobID = id
+	jctx = obslog.WithCorrelation(jctx, corr)
+	opts.Logger = s.logger
+	if s.logger.Enabled(slog.LevelInfo) {
+		s.logger.Event(jctx, obslog.EvAdmit,
+			slog.String("client", client), slog.String("instance", in.Name),
+			slog.String("backend", j.status.Backend),
+			slog.String("algorithm", j.status.Algorithm),
+			slog.Int("iterations", opts.Iterations))
+	}
 
 	go s.run(j, jctx, in, opts)
 	return j.snapshot(), nil
@@ -426,6 +505,25 @@ func (s *Service) run(j *job, ctx context.Context, in *antgpu.Instance, opts ant
 	j.append(Event{Type: "status", Status: &st})
 	j.mu.Unlock()
 	s.jobDur.Observe(now.Sub(st.Created).Seconds())
+
+	if s.logger.Enabled(slog.LevelInfo) {
+		wall := slog.Float64("wall_s", now.Sub(st.Created).Seconds())
+		switch st.State {
+		case StateDone:
+			s.logger.Event(ctx, obslog.EvDone,
+				slog.Int64("best_len", st.Result.BestLen),
+				slog.Float64("sim_s", st.Result.SimulatedSeconds), wall)
+		case StateCancelled:
+			s.logger.Event(ctx, obslog.EvCancelled, wall)
+		case StateFailed:
+			s.logger.Error(ctx, obslog.EvFailed, slog.String("err", st.Error), wall)
+			// A terminal failure is exactly what the flight recorder exists
+			// for: dump the job's last events (all levels, kernel launches
+			// included) so the post-mortem does not depend on the stream
+			// having been at debug.
+			s.logger.CrashDumpJob(st.ID, "job failed: "+st.Error)
+		}
+	}
 }
 
 // append adds one event to the job's stream and wakes blocked streamers.
@@ -464,6 +562,23 @@ func (s *Service) Job(id string) (JobStatus, error) {
 	return j.snapshot(), nil
 }
 
+// JobLog writes the job's flight-recorder events to w as NDJSON — the last
+// N events the job produced across every layer (admission, dispatch, solver
+// lifecycle, faults, kernel launches), each line carrying the job's request
+// ID. It fails with ErrNotFound when the job is unknown or the service's
+// logger has no flight recorder attached (there is then nothing to serve,
+// and the HTTP adapter's 404 tells the client the log is simply not there).
+func (s *Service) JobLog(w io.Writer, id string) error {
+	if _, err := s.lookup(id); err != nil {
+		return err
+	}
+	f := s.logger.Flight()
+	if f == nil {
+		return fmt.Errorf("%w: no flight recorder attached, job %q has no log", ErrNotFound, id)
+	}
+	return f.WriteJob(w, id)
+}
+
 // evictLocked enforces the job-retention policy: terminal jobs older than
 // the TTL go, and once the map exceeds MaxJobs the oldest terminal jobs go
 // regardless of age. Non-terminal jobs are never touched — a queued or
@@ -484,6 +599,7 @@ func (s *Service) evictLocked(now time.Time) {
 		j.mu.Lock()
 		terminal := j.status.Terminal()
 		finished := j.status.Finished
+		reqID := j.status.RequestID
 		j.mu.Unlock()
 		if terminal && finished != nil {
 			expired := s.jobTTL > 0 && now.Sub(*finished) >= s.jobTTL
@@ -491,6 +607,17 @@ func (s *Service) evictLocked(now time.Time) {
 				delete(s.jobs, id)
 				s.evictedC.Inc()
 				need--
+				// The job record is gone; release its flight-recorder ring
+				// too, or long-lived services would pin one ring per evicted
+				// job forever.
+				if f := s.logger.Flight(); f != nil {
+					f.DropJob(id)
+				}
+				if s.logger.Enabled(slog.LevelInfo) {
+					ectx := obslog.WithCorrelation(context.Background(),
+						obslog.Correlation{RequestID: reqID, JobID: id, Island: -1})
+					s.logger.Event(ectx, obslog.EvEvict, slog.Bool("expired", expired))
+				}
 				continue
 			}
 		}
@@ -541,6 +668,11 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 // arrive — and returns once the terminal status event has been delivered,
 // the context is cancelled, or emit fails. It is the transport-agnostic
 // core of the SSE endpoint; any number of streams may follow one job.
+//
+// When the stream has been idle for Options.KeepAlive, emit receives a
+// synthetic keep-alive event (Type "ping", Seq -1) that is not part of the
+// job's history — the HTTP adapter turns it into an SSE comment line so
+// proxies and clients do not time the connection out between iterations.
 func (s *Service) Stream(ctx context.Context, id string, emit func(Event) error) error {
 	j, err := s.lookup(id)
 	if err != nil {
@@ -563,8 +695,16 @@ func (s *Service) Stream(ctx context.Context, id string, emit func(Event) error)
 				return nil
 			}
 		}
+		var keep <-chan time.Time
+		if s.keep > 0 {
+			keep = s.after(s.keep)
+		}
 		select {
 		case <-wake:
+		case <-keep:
+			if err := emit(Event{Type: "ping", Seq: -1}); err != nil {
+				return err
+			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -578,6 +718,9 @@ func (s *Service) Stream(ctx context.Context, id string, emit func(Event) error)
 // running; call CancelAll first for a hard stop).
 func (s *Service) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.logger.Enabled(slog.LevelInfo) {
+		s.logger.Event(ctx, obslog.EvDrain, slog.String("phase", "start"))
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -585,6 +728,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.logger.Enabled(slog.LevelInfo) {
+			s.logger.Event(ctx, obslog.EvDrain, slog.String("phase", "finished"))
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -703,6 +849,24 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 	// would otherwise waste a queue slot are rejected here.
 	if req.Params.Ants < 0 || req.Params.NN < 0 {
 		return bad("params.ants and params.nn must be non-negative")
+	}
+	if req.FaultSpec != "" || req.NoFailover {
+		// Fault injection and recovery tuning ride the fault-tolerant
+		// runtime, which only supports this configuration; rejecting the
+		// rest here keeps the job from burning a queue slot to fail.
+		if opts.Backend != antgpu.BackendGPU || opts.Algorithm != antgpu.AlgorithmAS || opts.LocalSearch {
+			return bad("fault_spec and no_failover require backend gpu, algorithm as and no local_search")
+		}
+		if req.FaultSpec != "" {
+			plan, err := antgpu.ParseFaultSpec(req.FaultSpec)
+			if err != nil {
+				return bad("fault_spec: %v", err)
+			}
+			opts.Faults = plan
+		}
+		if req.NoFailover {
+			opts.Recovery = &antgpu.RecoveryOptions{DisableFailover: true}
+		}
 	}
 	return in, opts, nil
 }

@@ -26,7 +26,9 @@ type chromeEvent struct {
 
 // chromeArgs carries the kernel detail into the Perfetto side panel.
 type chromeArgs struct {
-	Name              string  `json:"name,omitempty"` // metadata events
+	Name              string  `json:"name,omitempty"`       // metadata events
+	RequestID         string  `json:"request_id,omitempty"` // correlation (process metadata)
+	JobID             string  `json:"job_id,omitempty"`
 	Grid              string  `json:"grid,omitempty"`
 	Block             string  `json:"block,omitempty"`
 	Stride            int     `json:"sample_stride,omitempty"`
@@ -61,9 +63,13 @@ const (
 // WriteChromeTrace writes the timeline as Chrome trace-event JSON.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	out := chromeTrace{DisplayTimeUnit: "ms"}
+	procName := "antgpu simulated timeline"
+	if c.requestID != "" {
+		procName += " · request " + c.requestID
+	}
 	out.TraceEvents = append(out.TraceEvents,
 		chromeEvent{Name: "process_name", Cat: "__metadata", Ph: "M", Pid: chromePid,
-			Args: &chromeArgs{Name: "antgpu simulated timeline"}},
+			Args: &chromeArgs{Name: procName, RequestID: c.requestID, JobID: c.jobID}},
 		chromeEvent{Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: chromePid, Tid: chromeTidGPU,
 			Args: &chromeArgs{Name: "device stream"}},
 		chromeEvent{Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: chromePid, Tid: chromeTidCPU,

@@ -46,6 +46,11 @@ type Collector struct {
 	clock  float64
 	events []Event
 	open   []int // indices of open phase spans, innermost last
+
+	// correlation (SetCorrelation): carried into the Chrome export so a
+	// Perfetto timeline can be joined against the obslog stream by ID.
+	requestID string
+	jobID     string
 }
 
 // NewCollector returns an empty collector whose simulated clock starts at
@@ -165,6 +170,22 @@ func (c *Collector) MergeAt(other *Collector, offset float64) {
 	if end := offset + other.clock; end > c.clock {
 		c.clock = end
 	}
+}
+
+// SetCorrelation attaches the request/job identity of the solve this
+// timeline belongs to. The IDs ride along into WriteChromeTrace's process
+// metadata, so a Perfetto view names the request it shows and the trace
+// can be joined against the structured log stream (which keys every event
+// on the same request_id). Timestamps stay simulated: correlation adds
+// identity, never wall-clock nondeterminism.
+func (c *Collector) SetCorrelation(requestID, jobID string) {
+	c.requestID = requestID
+	c.jobID = jobID
+}
+
+// Correlation returns the attached request and job IDs ("" when unset).
+func (c *Collector) Correlation() (requestID, jobID string) {
+	return c.requestID, c.jobID
 }
 
 // Seconds returns the simulated time elapsed on the collector's timeline.

@@ -7,6 +7,7 @@ import (
 	"antgpu/internal/core"
 	"antgpu/internal/cuda"
 	"antgpu/internal/metrics"
+	"antgpu/internal/obslog"
 	"antgpu/internal/rng"
 	"antgpu/internal/trace"
 )
@@ -86,6 +87,11 @@ type IslandOptions struct {
 	// island id), per-kernel hardware counters per island, and the
 	// ensemble-best gauge.
 	Metrics *Metrics
+	// Logger, when non-nil, receives one structured event per island fault,
+	// retry, reset, restart, migration, quarantine and respawn; each event
+	// carries its island index on top of the context's correlation. Same
+	// nil-is-free contract as SolveOptions.Logger.
+	Logger *Logger
 }
 
 // IslandsResult reports a SolveIslands run.
@@ -159,6 +165,9 @@ func SolveIslandsContext(ctx context.Context, in *Instance, opts IslandOptions) 
 	var tr *trace.Collector
 	if opts.Profile {
 		tr = trace.NewCollector()
+		if corr, ok := obslog.FromContext(ctx); ok {
+			tr.SetCorrelation(corr.RequestID, corr.JobID)
+		}
 	}
 	var rec RecoveryOptions
 	if opts.Recovery != nil {
@@ -178,6 +187,7 @@ func SolveIslandsContext(ctx context.Context, in *Instance, opts IslandOptions) 
 		MinIslands:      opts.MinIslands,
 		Tracer:          tr,
 		Metrics:         opts.Metrics,
+		Logger:          opts.Logger,
 	}
 	r, err := core.RunIslands(ctx, devices, in, opts.Params, cfg)
 	if err != nil {

@@ -1,0 +1,64 @@
+package antgpu
+
+import (
+	"context"
+	"io"
+
+	"antgpu/internal/obslog"
+)
+
+// Version identifies the library build; it labels the antgpu_build_info
+// gauge and can be matched against deployed antgpud instances.
+const Version = "0.9.0"
+
+// Logger is the structured-logging sink of the solver stack: one JSON line
+// per event (admission, dispatch, fault, retry, reset, failover, migration,
+// quarantine, eviction, kernel launch, ...), each keyed by the correlation
+// carried in the solve's context — request ID, job ID, island, attempt.
+// Attach one via SolveOptions.Logger, PoolOptions.Logger,
+// IslandOptions.Logger or service.Options.Logger.
+//
+// A nil *Logger is a valid disabled logger: every method no-ops and the
+// instrumented hot paths add zero allocations (the same opt-in contract as
+// Metrics). Logging only observes — solver results are byte-identical with
+// it on or off. See DESIGN.md §18 for the event taxonomy.
+type Logger = obslog.Logger
+
+// LoggerOptions configure NewLogger: minimum stream level, the optional
+// flight recorder, and the crash-dump destination.
+type LoggerOptions = obslog.Options
+
+// FlightRecorder is a fixed-size lock-free ring of the last N events per
+// job plus a global tail — the crash flight recorder. It captures every
+// event regardless of the stream level, is served live by antgpud at
+// /debug/flight and /v1/jobs/{id}/log, and is dumped on panic, SIGQUIT and
+// terminal job failure.
+type FlightRecorder = obslog.Flight
+
+// Correlation is the request identity attached to every logged event.
+type Correlation = obslog.Correlation
+
+// NewLogger returns a Logger writing one JSON event line per call to w
+// (nil w discards the stream — useful with a flight recorder only).
+func NewLogger(w io.Writer, opts LoggerOptions) *Logger { return obslog.New(w, opts) }
+
+// NewFlightRecorder returns a flight recorder keeping the last n events
+// globally and per job (a default size when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder { return obslog.NewFlight(n) }
+
+// NewRequestID returns a fresh request ID, as generated for requests that
+// arrive without an X-Request-ID header.
+func NewRequestID() string { return obslog.NewRequestID() }
+
+// WithCorrelation returns a context carrying the correlation; every event
+// logged under that context is keyed by it. The service layer does this
+// automatically — direct library users only need it to correlate their own
+// Solve calls.
+func WithCorrelation(ctx context.Context, c Correlation) context.Context {
+	return obslog.WithCorrelation(ctx, c)
+}
+
+// CorrelationFromContext returns the context's correlation, if any.
+func CorrelationFromContext(ctx context.Context) (Correlation, bool) {
+	return obslog.FromContext(ctx)
+}

@@ -3,6 +3,7 @@ package antgpu
 import (
 	"io"
 	"net/http"
+	"runtime"
 
 	"antgpu/internal/metrics"
 )
@@ -41,8 +42,18 @@ type MetricsSeries = metrics.SeriesSnapshot
 // λ-branching.
 type IterationEvent = metrics.IterationEvent
 
-// NewMetrics returns an empty metrics registry.
-func NewMetrics() *Metrics { return metrics.New() }
+// NewMetrics returns a metrics registry pre-populated with the
+// antgpu_build_info gauge: the conventional constant-1 series whose labels
+// (library version, Go runtime) let dashboards join every other series to
+// the build that produced it. Set once here — at registry creation — so
+// scrapes see it before any solve runs.
+func NewMetrics() *Metrics {
+	m := metrics.New()
+	m.Gauge("antgpu_build_info",
+		"Build metadata; constant 1, labeled with the library version and Go runtime.",
+		"version", Version, "go", runtime.Version()).Set(1)
+	return m
+}
 
 // MetricsHandler returns an http.Handler exposing the registry: GET
 // /metrics serves the Prometheus text exposition format, GET /debug/antgpu

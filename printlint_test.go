@@ -1,0 +1,99 @@
+package antgpu
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// forbiddenPrints maps a package import path to the functions that must not
+// appear in library code: anything that writes to process-global stdout or
+// stderr, or kills the process. Library packages communicate through
+// returned errors and the obslog logger; a stray fmt.Println in a solver
+// layer corrupts the NDJSON stream antgpud emits on the same descriptors.
+// Explicit-writer variants (fmt.Fprintf, fmt.Errorf) stay allowed.
+var forbiddenPrints = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// TestNoStrayPrintsInLibraryPackages walks every non-test source file under
+// internal/ and fails on calls to fmt.Print*/log.Print* (and log.Fatal*/
+// Panic*), resolving import aliases so a renamed import cannot slip past.
+// Commands under cmd/ are exempt: writing to stdout is their job.
+func TestNoStrayPrintsInLibraryPackages(t *testing.T) {
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		// Resolve which local names refer to fmt and log in this file.
+		names := map[string]string{} // local identifier -> import path
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if forbiddenPrints[ipath] == nil {
+				continue
+			}
+			name := ipath
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name == "_" || name == "." {
+				// Dot imports of fmt/log would defeat selector matching;
+				// treat the import itself as the violation.
+				violations = append(violations,
+					fset.Position(imp.Pos()).String()+": fmt/log imported as "+name)
+				continue
+			}
+			names[name] = ipath
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			ipath, ok := names[pkg.Name]
+			if !ok || !forbiddenPrints[ipath][sel.Sel.Name] {
+				return true
+			}
+			violations = append(violations, fset.Position(call.Pos()).String()+
+				": "+ipath+"."+sel.Sel.Name+" in library package")
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk internal/: %v", err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
