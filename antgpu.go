@@ -601,6 +601,7 @@ func SolveContext(ctx context.Context, in *Instance, opts SolveOptions) (res *Re
 		if err != nil {
 			return nil, err
 		}
+		defer e.Close()
 		tr := newTracer(ctx, opts)
 		e.Tracer = tr
 		e.Conv = solveConv(opts, in)
@@ -671,10 +672,16 @@ func solveMMAS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, e
 		}
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
 	case BackendTensor:
+		if p.Workers == 0 {
+			// Like the seed, the worker knob falls back to the AS-level
+			// Params of the enclosing solve options.
+			p.Workers = opts.Params.Workers
+		}
 		e, err := tensor.NewMMAS(in, p)
 		if err != nil {
 			return nil, err
 		}
+		defer e.Close()
 		tr := newTracer(ctx, opts)
 		e.Tracer = tr
 		e.Conv = solveConv(opts, in)
@@ -809,10 +816,16 @@ func solveACS(ctx context.Context, in *Instance, opts SolveOptions) (*Result, er
 		}
 		return &Result{BestTour: tour, BestLen: l, SimulatedSeconds: secs, Trace: tr}, nil
 	case BackendTensor:
+		if p.Workers == 0 {
+			// Like the seed, the worker knob falls back to the AS-level
+			// Params of the enclosing solve options.
+			p.Workers = opts.Params.Workers
+		}
 		e, err := tensor.NewACS(in, p)
 		if err != nil {
 			return nil, err
 		}
+		defer e.Close()
 		tr := newTracer(ctx, opts)
 		e.Tracer = tr
 		e.Conv = solveConv(opts, in)

@@ -81,11 +81,15 @@ func run(args []string, stdout io.Writer) error {
 		tensorJSON  = fs.String("tensorjson", "BENCH_tensor.json", "with -tensor, write the result as JSON to this path (empty = skip)")
 		tensorIters = fs.Int("tensoriters", 0, "with -tensor, AS iterations per engine (0 = default)")
 		tensorGate  = fs.String("tensorgate", "", "run a CPU-vs-tensor smoke sweep and fail if the tensor speedup regresses >20% against this baseline JSON (the CI perf gate)")
+		procs       = fs.Int("procs", 0, "set GOMAXPROCS for the whole run (0 = leave the runtime default) — pins the scheduler parallelism benchmark rows report")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
 	}
 
 	if *cpuProf != "" {
@@ -420,7 +424,9 @@ func runTensorBench(stdout io.Writer, jsonPath string, iters int) error {
 // gate only needs the speedup ratio) and fails if any instance's tensor
 // speedup fell more than 20% below the committed baseline. The ratio of
 // two same-process wall-clocks transfers across machines where raw
-// ns/ant-step would not.
+// ns/ant-step would not. The sweep runs at 1 worker and at GOMAXPROCS
+// workers (deduplicated), so the gate covers both the serial path and the
+// widest parallel configuration this machine can actually exercise.
 func runTensorGate(stdout io.Writer, baselinePath string, iters int) error {
 	f, err := os.Open(baselinePath)
 	if err != nil {
@@ -431,7 +437,11 @@ func runTensorGate(stdout io.Writer, baselinePath string, iters int) error {
 	if err != nil {
 		return err
 	}
-	current, err := bench.Tensor(bench.TensorConfig{Iterations: iters, SkipSim: true})
+	gateWorkers := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		gateWorkers = append(gateWorkers, g)
+	}
+	current, err := bench.Tensor(bench.TensorConfig{Iterations: iters, SkipSim: true, Workers: gateWorkers})
 	if err != nil {
 		return err
 	}

@@ -107,7 +107,7 @@ func (a *ACS) ConstructTours() {
 	c.iteration++
 	mtr := Meter{}
 	for ant := 0; ant < c.m; ant++ {
-		g := rng.Seed(c.P.Seed, c.iteration<<24|uint64(ant))
+		g := rng.FromState(rng.AntSeed(c.P.Seed, c.iteration, ant))
 		a.constructAnt(ant, &g, &mtr)
 	}
 	c.ConstructMeter.Add(&mtr)

@@ -215,7 +215,7 @@ func (c *Colony) ConstructAnts(v Variant, count int) {
 	c.iteration++
 	mtr := Meter{}
 	for ant := 0; ant < count; ant++ {
-		g := rng.Seed(c.P.Seed, c.iteration<<24|uint64(ant))
+		g := rng.FromState(rng.AntSeed(c.P.Seed, c.iteration, ant))
 		switch v {
 		case NNListConstruction:
 			c.constructAntNN(ant, &g, &mtr)

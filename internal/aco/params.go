@@ -34,6 +34,14 @@ type Params struct {
 	Ants  int     // m; 0 means m = n
 	NN    int     // nearest-neighbour list length for NN construction
 	Seed  uint64  // base RNG seed
+
+	// Workers bounds the worker goroutines of engines that parallelize
+	// across cores (currently the tensor backend; the float64 colony and
+	// the simulated GPU ignore it). Zero selects runtime.GOMAXPROCS(0).
+	// Results are bit-identical for every worker count: per-ant RNG
+	// streams are pure functions of (Seed, iteration, ant) and every
+	// reduction is deterministic, so Workers is purely a throughput knob.
+	Workers int
 }
 
 // DefaultParams returns the paper's parameter settings.
@@ -69,9 +77,10 @@ func (p Params) withDefaultsFrom(def Params) Params {
 }
 
 // WithDefaults returns a copy of p with every zero-valued (unset) field
-// replaced by its DefaultParams value, leaving set fields alone. Ants
-// stays zero (zero already means m = n). Out-of-range values are not
-// corrected here; Validate rejects them with ErrInvalidParams.
+// replaced by its DefaultParams value, leaving set fields alone. Ants and
+// Workers stay zero (zero already means m = n and GOMAXPROCS workers).
+// Out-of-range values are not corrected here; Validate rejects them with
+// ErrInvalidParams.
 func (p Params) WithDefaults() Params {
 	return p.withDefaultsFrom(DefaultParams())
 }
@@ -87,6 +96,9 @@ func (p *Params) Validate(n int) error {
 	}
 	if p.Ants < 0 {
 		return invalidf("negative ant count %d", p.Ants)
+	}
+	if p.Workers < 0 {
+		return invalidf("negative worker count %d", p.Workers)
 	}
 	if p.NN < 1 {
 		return invalidf("NN = %d, need >= 1", p.NN)

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTensorWorkerSweep: the worker sweep yields one row per worker count
+// against a shared CPU baseline, the tensor best is identical across
+// counts (the engine's worker-count-invariance surfacing end to end), and
+// the scaling fields are populated.
+func TestTensorWorkerSweep(t *testing.T) {
+	r, err := Tensor(TensorConfig{
+		Instances:  []string{"att48"},
+		Iterations: 2,
+		SkipSim:    true,
+		Workers:    []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want one per worker count (2)", len(r.Rows))
+	}
+	if r.NumCPU < 1 || r.GoMaxProcs < 1 {
+		t.Fatalf("machine context missing: num_cpu=%d gomaxprocs=%d", r.NumCPU, r.GoMaxProcs)
+	}
+	for i, row := range r.Rows {
+		if row.Workers != []int{1, 2}[i] {
+			t.Fatalf("row %d workers = %d, want %d", i, row.Workers, []int{1, 2}[i])
+		}
+		if row.GoMaxProcs < 1 {
+			t.Fatalf("row %d missing effective GOMAXPROCS", i)
+		}
+		if row.TensorBest != r.Rows[0].TensorBest {
+			t.Fatalf("tensor best diverged across worker counts: %d vs %d",
+				row.TensorBest, r.Rows[0].TensorBest)
+		}
+		if row.CPUBest != r.Rows[0].CPUBest || row.CPUWallMs != r.Rows[0].CPUWallMs {
+			t.Fatalf("row %d does not share the CPU baseline measurement", i)
+		}
+		if row.SpeedupVsW1 <= 0 {
+			t.Fatalf("row %d missing speedup_vs_w1", i)
+		}
+	}
+	if r.Rows[0].SpeedupVsW1 != 1 {
+		t.Fatalf("workers=1 row speedup_vs_w1 = %v, want exactly 1", r.Rows[0].SpeedupVsW1)
+	}
+
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "wrk") || !strings.Contains(buf.String(), "vs w1") {
+		t.Fatalf("Format lacks the worker columns:\n%s", buf.String())
+	}
+}
+
+// TestCompareTensorKeysByWorkers: the CI gate matches rows by instance AND
+// worker count — a regression in the 2-worker configuration must not hide
+// behind a healthy 1-worker row, and pre-sweep baselines without a workers
+// field gate the 1-worker rows.
+func TestCompareTensorKeysByWorkers(t *testing.T) {
+	baseline := &TensorResult{Rows: []TensorRow{
+		{Instance: "att48", Workers: 1, SpeedupVsCPU: 2.0},
+		{Instance: "att48", Workers: 2, SpeedupVsCPU: 4.0},
+	}}
+
+	ok := &TensorResult{Rows: []TensorRow{
+		{Instance: "att48", Workers: 1, SpeedupVsCPU: 1.9},
+		{Instance: "att48", Workers: 2, SpeedupVsCPU: 3.8},
+	}}
+	if err := CompareTensor(baseline, ok, 0.20); err != nil {
+		t.Fatalf("healthy run failed the gate: %v", err)
+	}
+
+	regressed := &TensorResult{Rows: []TensorRow{
+		{Instance: "att48", Workers: 1, SpeedupVsCPU: 2.0},
+		{Instance: "att48", Workers: 2, SpeedupVsCPU: 2.0}, // lost its scaling
+	}}
+	err := CompareTensor(baseline, regressed, 0.20)
+	if err == nil {
+		t.Fatal("2-worker regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "att48@w2") {
+		t.Fatalf("gate error does not name the regressed configuration: %v", err)
+	}
+
+	// A legacy baseline (no workers field) reads as the single-worker
+	// configuration: it gates current w1 rows and ignores the rest.
+	legacy := &TensorResult{Rows: []TensorRow{{Instance: "att48", SpeedupVsCPU: 2.0}}}
+	if err := CompareTensor(legacy, ok, 0.20); err != nil {
+		t.Fatalf("legacy baseline failed against a healthy w1 row: %v", err)
+	}
+	w1Regressed := &TensorResult{Rows: []TensorRow{
+		{Instance: "att48", Workers: 1, SpeedupVsCPU: 1.0},
+		{Instance: "att48", Workers: 2, SpeedupVsCPU: 4.0},
+	}}
+	if CompareTensor(legacy, w1Regressed, 0.20) == nil {
+		t.Fatal("w1 regression passed against a legacy baseline")
+	}
+
+	disjoint := &TensorResult{Rows: []TensorRow{{Instance: "d657", Workers: 4, SpeedupVsCPU: 3.0}}}
+	if CompareTensor(baseline, disjoint, 0.20) == nil {
+		t.Fatal("gate passed with no configurations in common")
+	}
+}

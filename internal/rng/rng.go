@@ -59,6 +59,24 @@ func IslandSeed(master uint64, island int) uint64 {
 	return g.State()
 }
 
+// antSalt decorrelates the per-ant construction-stream domain from both
+// the raw Seed streams and the island-seed domain, so AntSeed(s, i, a)
+// never aliases Seed(s, k) or IslandSeed(s, k) for any k.
+const antSalt = 0x5EEDA17C0109A271
+
+// AntSeed derives the RNG stream of one ant of one construction iteration:
+// a two-level SplitMix split, master→iteration→ant, mirroring IslandSeed.
+// Like the island derivation it is a pure function of (master, iter, ant)
+// — not a position in a shared sequence — so what an ant draws cannot
+// depend on which worker built it, how ants are sharded across workers, or
+// in what order the other ants ran. This is the seam that makes parallel
+// tour construction bit-identical to serial construction for any worker
+// count. Feed the result to FromState.
+func AntSeed(master, iter uint64, ant int) uint64 {
+	g := Seed(master^antSalt, iter)
+	return Seed(g.State(), uint64(ant)).State()
+}
+
 // Uint64 advances the generator and returns 64 random bits.
 func (g *LCG) Uint64() uint64 {
 	g.state = g.state*lcgMul + lcgInc

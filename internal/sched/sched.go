@@ -31,6 +31,24 @@ func Run(ctx context.Context, n, workers int, job func(ctx context.Context, i in
 	return RunHooked(ctx, n, workers, job, Hooks{})
 }
 
+// WorkerShare splits gomaxprocs cores fairly across poolWorkers concurrent
+// jobs: each job gets gomaxprocs/poolWorkers cores, never fewer than one.
+// It sizes the per-request tensor-engine worker count in the service: when
+// the admission pool runs several solves at once, giving each of them the
+// whole machine would just thrash, so each gets its share — and on a
+// lightly-provisioned pool (poolWorkers == 1) the single solve keeps every
+// core. Non-positive inputs degrade to 1.
+func WorkerShare(gomaxprocs, poolWorkers int) int {
+	if gomaxprocs < 1 || poolWorkers < 1 {
+		return 1
+	}
+	share := gomaxprocs / poolWorkers
+	if share < 1 {
+		return 1
+	}
+	return share
+}
+
 // Hooks observe the pool's scheduling decisions — the introspection points
 // the metrics layer turns into queue-depth and worker-utilisation gauges.
 // Either hook may be nil. Hooks are called from worker goroutines and must

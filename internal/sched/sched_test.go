@@ -359,3 +359,21 @@ func TestRunHookedCancelSkipsUndispatchedJobs(t *testing.T) {
 		t.Errorf("got %d ok / %d cancelled, want %d / %d", ok, cancelled, workers, n-workers)
 	}
 }
+
+func TestWorkerShare(t *testing.T) {
+	cases := []struct{ procs, pool, want int }{
+		{8, 4, 2},   // even split
+		{8, 1, 8},   // single-slot pool keeps the machine
+		{8, 3, 2},   // rounds down
+		{2, 8, 1},   // oversubscribed pool floors at one core each
+		{1, 1, 1},
+		{0, 4, 1},   // degenerate inputs degrade to 1
+		{4, 0, 1},
+		{-3, -2, 1},
+	}
+	for _, c := range cases {
+		if got := WorkerShare(c.procs, c.pool); got != c.want {
+			t.Errorf("WorkerShare(%d, %d) = %d, want %d", c.procs, c.pool, got, c.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"antgpu"
 	"antgpu/internal/metrics"
 	"antgpu/internal/obslog"
+	"antgpu/internal/sched"
 	"antgpu/internal/tsp"
 )
 
@@ -120,6 +122,12 @@ type SubmitParams struct {
 	Ants  int     `json:"ants,omitempty"`
 	NN    int     `json:"nn,omitempty"`
 	Seed  uint64  `json:"seed,omitempty"`
+	// Workers caps the engine-internal worker goroutines of backends that
+	// parallelize one solve across cores (the tensor backend). Zero lets
+	// the service size it: the machine's cores split fairly across the
+	// pool's concurrent solve slots. Results are bit-identical for every
+	// worker count — this is purely a throughput knob.
+	Workers int `json:"workers,omitempty"`
 }
 
 // SubmitRequest is one solve submission. Exactly one of Benchmark and
@@ -132,8 +140,11 @@ type SubmitRequest struct {
 	TSPLIB string `json:"tsplib,omitempty"`
 	// Iterations is the ACO iteration count (default 20).
 	Iterations int `json:"iterations,omitempty"`
-	// Backend is "cpu" (default), "gpu" (the simulated device) or
-	// "tensor" (the host-native float32 matrix-kernel engine).
+	// Backend is "cpu", "gpu" (the simulated device) or "tensor" (the
+	// host-native float32 matrix-kernel engine). Omitted, the service
+	// picks cpu or tensor itself from the instance size and ant count —
+	// the choice lands in JobStatus.Backend with BackendAuto set, and in
+	// the antgpu_service_backend_selected_total counter.
 	Backend string `json:"backend,omitempty"`
 	// Algorithm is "as" (default), "acs", "mmas", "eas" or "rank".
 	Algorithm string `json:"algorithm,omitempty"`
@@ -176,11 +187,18 @@ type JobStatus struct {
 	// the X-Request-ID the client sent, or the one generated at admission.
 	// Every log line the job produced carries the same value.
 	RequestID  string     `json:"request_id,omitempty"`
-	State      string     `json:"state"`
-	Instance   string     `json:"instance"`
-	Backend    string     `json:"backend"`
-	Algorithm  string     `json:"algorithm"`
-	Iterations int        `json:"iterations"`
+	State    string `json:"state"`
+	Instance string `json:"instance"`
+	Backend  string `json:"backend"`
+	// BackendAuto marks a backend the service chose because the submit
+	// omitted one.
+	BackendAuto bool `json:"backend_auto,omitempty"`
+	// Workers is the engine-internal worker count the job solves with
+	// (tensor backend only; zero for backends that don't parallelize
+	// within a solve).
+	Workers    int    `json:"workers,omitempty"`
+	Algorithm  string `json:"algorithm"`
+	Iterations int    `json:"iterations"`
 	Created    time.Time  `json:"created"`
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
@@ -257,6 +275,8 @@ type Service struct {
 	streamsG  metrics.Gauge
 	cancelled metrics.Counter
 	evictedC  metrics.Counter
+	selCPU    metrics.Counter
+	selTensor metrics.Counter
 }
 
 // New returns a Service over the pool. A nil pool panics — the service has
@@ -328,6 +348,9 @@ func New(opts Options) *Service {
 			"Jobs cancelled by a client.")
 		s.evictedC = m.Counter("antgpu_service_jobs_evicted_total",
 			"Terminal job records evicted by the TTL or map-size cap.")
+		const selHelp = "Backends auto-selected for submits that omitted one."
+		s.selCPU = m.Counter("antgpu_service_backend_selected_total", selHelp, "backend", "cpu")
+		s.selTensor = m.Counter("antgpu_service_backend_selected_total", selHelp, "backend", "tensor")
 	}
 	return s
 }
@@ -376,7 +399,7 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 		s.rejRate.Inc()
 		return reject("ratelimit", ErrRateLimited)
 	}
-	in, opts, err := s.buildSolve(req)
+	in, opts, auto, err := s.buildSolve(req)
 	if err != nil {
 		s.rejBad.Inc()
 		return reject("invalid", err)
@@ -410,15 +433,21 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%d", s.seq)
+	workers := 0
+	if opts.Backend == antgpu.BackendTensor {
+		workers = opts.Params.Workers
+	}
 	j.status = JobStatus{
-		ID:         id,
-		RequestID:  corr.RequestID,
-		State:      StateQueued,
-		Instance:   in.Name,
-		Backend:    opts.Backend.String(),
-		Algorithm:  opts.Algorithm.String(),
-		Iterations: opts.Iterations,
-		Created:    s.now(),
+		ID:          id,
+		RequestID:   corr.RequestID,
+		State:       StateQueued,
+		Instance:    in.Name,
+		Backend:     opts.Backend.String(),
+		BackendAuto: auto,
+		Workers:     workers,
+		Algorithm:   opts.Algorithm.String(),
+		Iterations:  opts.Iterations,
+		Created:     s.now(),
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
@@ -426,6 +455,13 @@ func (s *Service) Submit(ctx context.Context, client string, req SubmitRequest) 
 	s.wg.Add(1)
 	s.mu.Unlock()
 	s.accepted.Inc()
+	if auto {
+		if opts.Backend == antgpu.BackendTensor {
+			s.selTensor.Inc()
+		} else {
+			s.selCPU.Inc()
+		}
+	}
 
 	// The job runs detached from the submitting transport but keyed by its
 	// correlation: request ID from the submit, job ID assigned above. Every
@@ -760,19 +796,37 @@ func (s *Service) CancelAll() int {
 	return n
 }
 
+// pickBackend chooses the engine for a submit that didn't: the tensor
+// engine earns its setup cost on large instances, and wins on small ones
+// too whenever the ant count stays below the instance size (fewer ants
+// amortizing the same n² weight refresh favour the matrix kernels). The
+// algorithms the tensor engine doesn't implement run the reference CPU
+// colony. A zero ant count means m = n, as everywhere else.
+func pickBackend(n, ants int, alg antgpu.Algorithm) antgpu.Backend {
+	if alg == antgpu.AlgorithmEAS || alg == antgpu.AlgorithmRank {
+		return antgpu.BackendCPU
+	}
+	if ants == 0 {
+		ants = n
+	}
+	if n >= 96 || ants < n {
+		return antgpu.BackendTensor
+	}
+	return antgpu.BackendCPU
+}
+
 // buildSolve validates a SubmitRequest into an instance and solve options.
-func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveOptions, error) {
-	var opts antgpu.SolveOptions
-	bad := func(format string, args ...any) (*antgpu.Instance, antgpu.SolveOptions, error) {
-		return nil, opts, fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+// auto reports that the request omitted the backend and the service chose
+// one.
+func (s *Service) buildSolve(req SubmitRequest) (in *antgpu.Instance, opts antgpu.SolveOptions, auto bool, err error) {
+	bad := func(format string, args ...any) (*antgpu.Instance, antgpu.SolveOptions, bool, error) {
+		return nil, opts, false, fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
 	}
 
-	var in *antgpu.Instance
 	switch {
 	case req.Benchmark != "" && req.TSPLIB != "":
 		return bad("benchmark and tsplib are mutually exclusive")
 	case req.Benchmark != "":
-		var err error
 		if in, err = antgpu.LoadBenchmark(req.Benchmark); err != nil {
 			return bad("unknown benchmark %q (have %s)", req.Benchmark,
 				strings.Join(antgpu.Benchmarks(), ", "))
@@ -782,7 +836,6 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 			return bad("tsplib upload of %d bytes exceeds the %d-byte limit",
 				len(req.TSPLIB), s.maxBytes)
 		}
-		var err error
 		if in, err = tsp.Parse(strings.NewReader(req.TSPLIB)); err != nil {
 			return bad("tsplib: %v", err)
 		}
@@ -799,7 +852,10 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 	opts.Iterations = req.Iterations
 
 	switch strings.ToLower(req.Backend) {
-	case "", "cpu":
+	case "":
+		// Auto-selection waits for the parsed algorithm and ant count,
+		// just below the algorithm switch.
+	case "cpu":
 		opts.Backend = antgpu.BackendCPU
 	case "gpu":
 		opts.Backend = antgpu.BackendGPU
@@ -822,6 +878,10 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 	default:
 		return bad("unknown algorithm %q (want as, acs, mmas, eas or rank)", req.Algorithm)
 	}
+	if req.Backend == "" {
+		auto = true
+		opts.Backend = pickBackend(in.N(), req.Params.Ants, opts.Algorithm)
+	}
 	if opts.Backend == antgpu.BackendTensor &&
 		(opts.Algorithm == antgpu.AlgorithmEAS || opts.Algorithm == antgpu.AlgorithmRank) {
 		return bad("backend tensor supports algorithms as, acs and mmas only")
@@ -837,18 +897,24 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 	}
 	opts.Optimum = req.Optimum
 	opts.Params = antgpu.Params{
-		Alpha: req.Params.Alpha,
-		Beta:  req.Params.Beta,
-		Rho:   req.Params.Rho,
-		Ants:  req.Params.Ants,
-		NN:    req.Params.NN,
-		Seed:  req.Params.Seed,
+		Alpha:   req.Params.Alpha,
+		Beta:    req.Params.Beta,
+		Rho:     req.Params.Rho,
+		Ants:    req.Params.Ants,
+		NN:      req.Params.NN,
+		Seed:    req.Params.Seed,
+		Workers: req.Params.Workers,
 	}
 	// Range errors (negative α, ρ > 1, …) surface from the engines as
 	// ErrInvalidParams once the job runs; cheap structural checks that
 	// would otherwise waste a queue slot are rejected here.
-	if req.Params.Ants < 0 || req.Params.NN < 0 {
-		return bad("params.ants and params.nn must be non-negative")
+	if req.Params.Ants < 0 || req.Params.NN < 0 || req.Params.Workers < 0 {
+		return bad("params.ants, params.nn and params.workers must be non-negative")
+	}
+	if opts.Backend == antgpu.BackendTensor && opts.Params.Workers == 0 {
+		// Size the engine's share of the machine for the pool's concurrency:
+		// every solve slot running a tensor job at once should still fit.
+		opts.Params.Workers = sched.WorkerShare(runtime.GOMAXPROCS(0), s.pool.Workers())
 	}
 	if req.FaultSpec != "" || req.NoFailover {
 		// Fault injection and recovery tuning ride the fault-tolerant
@@ -868,7 +934,7 @@ func (s *Service) buildSolve(req SubmitRequest) (*antgpu.Instance, antgpu.SolveO
 			opts.Recovery = &antgpu.RecoveryOptions{DisableFailover: true}
 		}
 	}
-	return in, opts, nil
+	return in, opts, auto, nil
 }
 
 // limiter is a per-client token-bucket rate limiter. A nil limiter allows

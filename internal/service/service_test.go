@@ -9,12 +9,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"antgpu"
+	"antgpu/internal/sched"
 )
 
 // newTestService builds a service over a fresh pool. workers bounds
@@ -733,4 +735,111 @@ func TestJobRetentionTTL(t *testing.T) {
 	if _, err := s.Job(st.ID); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expired job lookup: %v, want ErrNotFound", err)
 	}
+}
+
+// TestAutoBackendSelection: a submit that omits the backend gets one picked
+// from the instance size and ant count, the choice lands in the job JSON
+// (backend + backend_auto) and in the selection counter, and explicit
+// backends stay untouched.
+func TestAutoBackendSelection(t *testing.T) {
+	s, reg := newTestService(t, 1, -1, Options{})
+	submit := func(req SubmitRequest) JobStatus {
+		t.Helper()
+		st, err := s.Submit(context.Background(), "c1", req)
+		if err != nil {
+			t.Fatalf("Submit(%+v): %v", req, err)
+		}
+		return st
+	}
+
+	// Small instance, default ants (= n): the reference colony wins.
+	st := submit(SubmitRequest{Benchmark: "att48", Iterations: 1})
+	if st.Backend != "cpu" || !st.BackendAuto {
+		t.Fatalf("att48 default ants picked %s (auto=%v), want auto cpu", st.Backend, st.BackendAuto)
+	}
+	if st.Workers != 0 {
+		t.Fatalf("cpu job reports %d workers, want 0", st.Workers)
+	}
+
+	// Same instance, fewer ants than cities: the matrix kernels win.
+	st = submit(SubmitRequest{Benchmark: "att48", Iterations: 1, Params: SubmitParams{Ants: 8}})
+	if st.Backend != "tensor" || !st.BackendAuto {
+		t.Fatalf("att48/8-ant submit picked %s (auto=%v), want auto tensor", st.Backend, st.BackendAuto)
+	}
+	wantShare := sched.WorkerShare(runtime.GOMAXPROCS(0), s.pool.Workers())
+	if st.Workers != wantShare {
+		t.Fatalf("auto-sized workers = %d, want WorkerShare = %d", st.Workers, wantShare)
+	}
+
+	// Large instance: tensor regardless of ant count.
+	st = submit(SubmitRequest{Benchmark: "kroC100", Iterations: 1})
+	if st.Backend != "tensor" || !st.BackendAuto {
+		t.Fatalf("kroC100 submit picked %s (auto=%v), want auto tensor", st.Backend, st.BackendAuto)
+	}
+
+	// Algorithms the tensor engine doesn't implement fall back to cpu even
+	// on a large instance.
+	st = submit(SubmitRequest{Benchmark: "kroC100", Iterations: 1, Algorithm: "eas"})
+	if st.Backend != "cpu" || !st.BackendAuto {
+		t.Fatalf("kroC100/eas submit picked %s (auto=%v), want auto cpu", st.Backend, st.BackendAuto)
+	}
+
+	// An explicit backend is honoured verbatim and never counted as auto.
+	st = submit(SubmitRequest{Benchmark: "kroC100", Iterations: 1, Backend: "cpu"})
+	if st.Backend != "cpu" || st.BackendAuto {
+		t.Fatalf("explicit cpu submit reported %s (auto=%v)", st.Backend, st.BackendAuto)
+	}
+
+	// An explicit worker count on a tensor job passes straight through.
+	st = submit(SubmitRequest{Benchmark: "kroC100", Iterations: 1, Backend: "tensor",
+		Params: SubmitParams{Workers: 2}})
+	if st.Workers != 2 || st.BackendAuto {
+		t.Fatalf("explicit tensor submit reported workers=%d auto=%v, want 2/false", st.Workers, st.BackendAuto)
+	}
+
+	// Negative worker counts are structural errors, rejected at admission.
+	if _, err := s.Submit(context.Background(), "c1", SubmitRequest{
+		Benchmark: "att48", Params: SubmitParams{Workers: -1},
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("workers=-1 admission error = %v, want ErrBadRequest", err)
+	}
+
+	f := reg.Snapshot().Family("antgpu_service_backend_selected_total")
+	if f == nil {
+		t.Fatal("selection counter family missing")
+	}
+	got := map[string]float64{}
+	for _, sr := range f.Series {
+		got[sr.Labels["backend"]] = sr.Value
+	}
+	if got["cpu"] != 2 || got["tensor"] != 2 {
+		t.Fatalf("selection counts = %v, want cpu:2 tensor:2", got)
+	}
+	s.Drain(context.Background())
+}
+
+// TestAutoBackendResultMatchesExplicit: the auto-picked tensor backend
+// solves identically to an explicit tensor submit — selection changes
+// where the job runs, never what it computes.
+func TestAutoBackendResultMatchesExplicit(t *testing.T) {
+	s, _ := newTestService(t, 1, 0, Options{})
+	run := func(req SubmitRequest) int64 {
+		t.Helper()
+		st, err := s.Submit(context.Background(), "c1", req)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		final := waitState(t, s, st.ID, JobStatus.Terminal)
+		if final.State != StateDone {
+			t.Fatalf("job ended %s (%s)", final.State, final.Error)
+		}
+		return final.Result.BestLen
+	}
+	autoLen := run(SubmitRequest{Benchmark: "kroC100", Iterations: 5, Params: SubmitParams{Seed: 11}})
+	explicitLen := run(SubmitRequest{Benchmark: "kroC100", Iterations: 5, Backend: "tensor",
+		Params: SubmitParams{Seed: 11}})
+	if autoLen != explicitLen {
+		t.Fatalf("auto-selected tensor solved to %d, explicit tensor to %d", autoLen, explicitLen)
+	}
+	s.Drain(context.Background())
 }

@@ -33,10 +33,16 @@ func NewACS(in *tsp.Instance, p aco.ACSParams) (*ACS, error) {
 // NewACSWithDerived is NewACS drawing NN lists and C^nn from precomputed
 // derived data; nil recomputes them.
 func NewACSWithDerived(in *tsp.Instance, p aco.ACSParams, d *tsp.Derived) (*ACS, error) {
+	return NewACSWithOptions(in, p, d, Options{})
+}
+
+// NewACSWithOptions is NewACSWithDerived with engine options (the
+// per-request worker override).
+func NewACSWithOptions(in *tsp.Instance, p aco.ACSParams, d *tsp.Derived, o Options) (*ACS, error) {
 	if err := p.Validate(in.N()); err != nil {
 		return nil, err
 	}
-	e, err := NewWithDerived(in, p.Params, d)
+	e, err := NewWithOptions(in, p.Params, d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -50,15 +56,23 @@ func NewACSWithDerived(in *tsp.Instance, p aco.ACSParams, d *tsp.Derived) (*ACS,
 
 // ConstructTours builds all ants' tours with the pseudo-random
 // proportional rule over the NN list, applying the local pheromone update
-// edge by edge as ACS prescribes.
+// edge by edge as ACS prescribes. Unlike the AS/MMAS path this stays
+// serial regardless of the engine's worker count: the local update makes
+// each ant read the trails every previous ant wrote mid-construction —
+// sequential semantics by definition. (Skinderowicz's GPU ACS parallelizes
+// it only by accepting different results; this engine keeps the reference
+// semantics and parallelizes the stages that commute instead.) The ants
+// still draw from the pure per-ant streams rng.AntSeed(seed, iteration,
+// ant), so ACS and the parallel variants share one stream model.
 func (a *ACS) ConstructTours() {
 	e := a.Engine
 	start := time.Now()
 	e.iteration++
 	for ant := 0; ant < e.m; ant++ {
-		g := rng.Seed(e.P.Seed, e.iteration<<24|uint64(ant))
+		g := rng.FromState(rng.AntSeed(e.P.Seed, e.iteration, ant))
 		a.constructAnt(ant, &g)
 	}
+	e.reduceBest()
 	e.span("construct", time.Since(start).Seconds())
 }
 
@@ -66,7 +80,7 @@ func (a *ACS) constructAnt(ant int, g *rng.LCG) {
 	e := a.Engine
 	n := e.n
 	tour := e.Tours[ant*n : (ant+1)*n]
-	mask := e.maskF
+	mask := e.cs[0].mask
 	for i := range mask {
 		mask[i] = 1
 	}
@@ -87,7 +101,7 @@ func (a *ACS) constructAnt(ant int, g *rng.LCG) {
 	// Close the tour with a local update on the final edge too.
 	a.localUpdate(cur, int(tour[0]))
 	length += int64(e.dist[cur*n+int(tour[0])])
-	e.finishAnt(ant, tour, length)
+	e.Lengths[ant] = length
 }
 
 // chooseNext applies the pseudo-random proportional rule: with probability
@@ -98,7 +112,7 @@ func (a *ACS) chooseNext(cur int, g *rng.LCG) int {
 	n, nn := e.n, e.nn
 	list := e.nnList[cur*nn : cur*nn+nn]
 	row := e.weight[cur*n : cur*n+n]
-	mask := e.maskF
+	mask := e.cs[0].mask
 
 	q := g.Float64()
 	if q < a.PA.Q0 {
@@ -116,7 +130,7 @@ func (a *ACS) chooseNext(cur int, g *rng.LCG) int {
 		if best >= 0 {
 			return best
 		}
-		return e.bestFeasible(cur)
+		return e.bestFeasible(cur, mask)
 	}
 
 	// Biased exploration: two-pass masked cumulative sum over the gathered
@@ -145,7 +159,7 @@ func (a *ACS) chooseNext(cur int, g *rng.LCG) int {
 			return last
 		}
 	}
-	return e.bestFeasible(cur)
+	return e.bestFeasible(cur, mask)
 }
 
 // localUpdate decays the crossed edge towards τ0 and refreshes exactly the

@@ -9,12 +9,17 @@ import (
 
 // ConstructTours builds tours for all m ants with the selected variant,
 // drawing from the same per-ant random streams as the reference colony:
-// rng.Seed(seed, iteration<<24|ant), one Intn for the start city, one
+// rng.AntSeed(seed, iteration, ant), one Intn for the start city, one
 // Float64 per step if and only if the step's probability mass is positive.
+// Ants are independent given the iteration's frozen weight matrix, so they
+// shard over the worker pool — each worker builds its contiguous ant range
+// with its own mask/staging scratch, and the best-so-far folds in
+// afterwards in ant-index order (reduceBest), keeping results bit-identical
+// to the serial loop for any worker count.
 //
 // Selection is a two-pass masked cumulative sum. Pass one stages the
-// masked weights into the mw scratch row while computing the total
-// probability mass with the float add latency chain broken across
+// masked weights into the worker's mw scratch row while computing the
+// total probability mass with the float add latency chain broken across
 // independent accumulators; pass two accumulates the cumulative sum over
 // mw — a pure sequential scan, no gathers — until it crosses the draw,
 // with the last positive slot as the r == total fallback
@@ -24,24 +29,25 @@ import (
 func (e *Engine) ConstructTours(v aco.Variant) {
 	start := time.Now()
 	e.iteration++
-	for ant := 0; ant < e.m; ant++ {
-		g := rng.Seed(e.P.Seed, e.iteration<<24|uint64(ant))
+	e.forAnts(func(w, ant int) {
+		g := rng.FromState(rng.AntSeed(e.P.Seed, e.iteration, ant))
 		switch v {
 		case aco.NNListConstruction:
-			e.constructAntNN(ant, &g)
+			e.constructAntNN(ant, &g, &e.cs[w])
 		default:
-			e.constructAntFull(ant, &g)
+			e.constructAntFull(ant, &g, &e.cs[w])
 		}
-	}
+	})
+	e.reduceBest()
 	e.span("construct", time.Since(start).Seconds())
 }
 
 // constructAntFull applies the random-proportional rule over all unvisited
 // cities, streaming the full weight row against the mask.
-func (e *Engine) constructAntFull(ant int, g *rng.LCG) {
+func (e *Engine) constructAntFull(ant int, g *rng.LCG, sc *constructScratch) {
 	n := e.n
 	tour := e.Tours[ant*n : (ant+1)*n]
-	mask := e.maskF
+	mask := sc.mask
 	for i := range mask {
 		mask[i] = 1
 	}
@@ -53,7 +59,7 @@ func (e *Engine) constructAntFull(ant int, g *rng.LCG) {
 
 	for step := 1; step < n; step++ {
 		row := e.weight[cur*n : cur*n+n]
-		mw := e.mw[:n]
+		mw := sc.mw[:n]
 		// Pass one: stage the masked weights and total them, four
 		// independent accumulators so the adds pipeline instead of
 		// serialising on the FMA latency.
@@ -83,7 +89,7 @@ func (e *Engine) constructAntFull(ant int, g *rng.LCG) {
 			next = rouletteMasked(mw, r)
 		}
 		if next < 0 {
-			next = e.bestFeasible(cur)
+			next = e.bestFeasible(cur, mask)
 		}
 		tour[step] = int32(next)
 		mask[next] = 0
@@ -91,16 +97,16 @@ func (e *Engine) constructAntFull(ant int, g *rng.LCG) {
 		cur = next
 	}
 	length += int64(e.dist[cur*n+int(tour[0])])
-	e.finishAnt(ant, tour, length)
+	e.Lengths[ant] = length
 }
 
 // constructAntNN restricts the probabilistic choice to the nearest-
 // neighbour list, reading the pre-gathered wNN row sequentially;
 // exhausting the list falls back to the best feasible city by weight.
-func (e *Engine) constructAntNN(ant int, g *rng.LCG) {
+func (e *Engine) constructAntNN(ant int, g *rng.LCG, sc *constructScratch) {
 	n, nn := e.n, e.nn
 	tour := e.Tours[ant*n : (ant+1)*n]
-	mask := e.maskF
+	mask := sc.mask
 	for i := range mask {
 		mask[i] = 1
 	}
@@ -113,7 +119,7 @@ func (e *Engine) constructAntNN(ant int, g *rng.LCG) {
 	for step := 1; step < n; step++ {
 		list := e.nnList[cur*nn : cur*nn+nn]
 		wrow := e.wNN[cur*nn : cur*nn+nn]
-		mw := e.mw[:nn]
+		mw := sc.mw[:nn]
 		var t0, t1 float32
 		k := 0
 		for ; k+1 < nn; k += 2 {
@@ -137,7 +143,7 @@ func (e *Engine) constructAntNN(ant int, g *rng.LCG) {
 			}
 		}
 		if next < 0 {
-			next = e.bestFeasible(cur)
+			next = e.bestFeasible(cur, mask)
 		}
 		tour[step] = int32(next)
 		mask[next] = 0
@@ -145,7 +151,7 @@ func (e *Engine) constructAntNN(ant int, g *rng.LCG) {
 		cur = next
 	}
 	length += int64(e.dist[cur*n+int(tour[0])])
-	e.finishAnt(ant, tour, length)
+	e.Lengths[ant] = length
 }
 
 // rouletteMasked resolves a roulette draw against the cumulative sum of an
@@ -174,10 +180,9 @@ func rouletteMasked(mw []float32, r float64) int {
 // lanes score exactly -1 while unvisited lanes keep their weight
 // bit-identically (w·1 + 0.0), so the scan itself stays branch-free and
 // the first strict maximum matches the colony's tie-break.
-func (e *Engine) bestFeasible(cur int) int {
+func (e *Engine) bestFeasible(cur int, mask []float32) int {
 	n := e.n
 	row := e.weight[cur*n : cur*n+n]
-	mask := e.maskF
 	best := -1
 	bestV := float32(-1)
 	for j := 0; j < n; j++ {
@@ -190,17 +195,4 @@ func (e *Engine) bestFeasible(cur int) int {
 		panic("tensor: no feasible city (corrupt mask state)")
 	}
 	return best
-}
-
-// finishAnt stores the ant's exact tour length and updates the best-so-far
-// (first ant wins ties, like the colony).
-func (e *Engine) finishAnt(ant int, tour []int32, l int64) {
-	e.Lengths[ant] = l
-	if l < e.BestLen {
-		e.BestLen = l
-		if e.BestTour == nil {
-			e.BestTour = make([]int32, len(tour))
-		}
-		copy(e.BestTour, tour)
-	}
 }

@@ -35,15 +35,22 @@
 //     how any tour is scored (see DESIGN §17 for the precision model).
 //
 // The engine honours the same Params/seed determinism contract as the
-// colony: ant streams are rng.Seed(seed, iteration<<24|ant), drawn in the
-// same order, so in configurations where every probability is exact in
-// float32 the tensor engine reproduces the reference tours bit for bit.
+// colony: ant streams are pure per-ant splits rng.AntSeed(seed,
+// iteration, ant), drawn in the same order, so in configurations where
+// every probability is exact in float32 the tensor engine reproduces the
+// reference tours bit for bit.
+//
+// The engine is multicore: construction and 2-opt shard by ant, the fused
+// n²-sweeps shard by row, over a persistent worker pool
+// (Options.Workers / Params.Workers; 0 = GOMAXPROCS). Results are
+// bit-identical for any worker count — see parallel.go for the model.
 package tensor
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"antgpu/internal/aco"
@@ -84,11 +91,23 @@ type Engine struct {
 	Tracer *trace.Collector
 
 	// scratch (reused across ants and iterations; no per-iteration allocs)
-	maskF   []float32 // n tabu mask: 1 unvisited, 0 visited
-	mw      []float32 // n masked-weight row staged by selection pass one
 	delta   []float32 // n×n dense deposit buffer, zero between updates
 	touched []int32   // weight entries invalidated by deposits (α ≠ 1 only)
-	ls      twoOptScratch
+
+	// Multicore state: the resolved worker count, the persistent pool, and
+	// one private scratch set per worker — ant-sharded kernels index their
+	// scratch by worker id, never sharing a mask, staging row or 2-opt
+	// position table across goroutines.
+	workers int
+	pool    *workerPool
+	cs      []constructScratch
+	ls      []twoOptScratch // allocated on first LocalSearchTours
+}
+
+// constructScratch is one worker's private construction state.
+type constructScratch struct {
+	mask []float32 // n tabu mask: 1 unvisited, 0 visited
+	mw   []float32 // n masked-weight row staged by selection pass one
 }
 
 // New creates a tensorized Ant System engine with pheromone initialised to
@@ -102,15 +121,23 @@ func New(in *tsp.Instance, p aco.Params) (*Engine, error) {
 // does not consume d.DistF32 — lengths stay exact int64 — so it accepts
 // instances the float32 device path must refuse.
 func NewWithDerived(in *tsp.Instance, p aco.Params, d *tsp.Derived) (*Engine, error) {
+	return NewWithOptions(in, p, d, Options{})
+}
+
+// NewWithOptions is NewWithDerived with engine options — currently the
+// worker-count override for callers that size the pool per request (the
+// service layer) instead of through Params.Workers.
+func NewWithOptions(in *tsp.Instance, p aco.Params, d *tsp.Derived, o Options) (*Engine, error) {
 	if err := p.Validate(in.N()); err != nil {
 		return nil, err
 	}
 	n := in.N()
 	e := &Engine{
 		In: in, P: p,
-		n:  n,
-		m:  p.AntCount(n),
-		nn: min(p.NN, n-1),
+		n:       n,
+		m:       p.AntCount(n),
+		nn:      min(p.NN, n-1),
+		workers: resolveWorkers(o, p),
 	}
 	if d != nil && (d.N != n || d.NN != e.nn) {
 		return nil, fmt.Errorf("tensor: derived data shape (n=%d, nn=%d) does not match engine (n=%d, nn=%d)",
@@ -123,9 +150,16 @@ func NewWithDerived(in *tsp.Instance, p aco.Params, d *tsp.Derived) (*Engine, er
 	e.Tours = make([]int32, e.m*n)
 	e.Lengths = make([]int64, e.m)
 	e.BestLen = math.MaxInt64
-	e.maskF = make([]float32, n)
-	e.mw = make([]float32, n)
 	e.delta = make([]float32, n*n)
+	e.pool = newWorkerPool(e.workers)
+	e.cs = make([]constructScratch, e.workers)
+	for w := range e.cs {
+		e.cs[w] = constructScratch{mask: make([]float32, n), mw: make([]float32, n)}
+	}
+	// Backstop teardown: the pool's parked goroutines reference only the
+	// pool, so an unreachable engine is collectible and this cleanup
+	// releases them even when the caller never calls Close.
+	runtime.AddCleanup(e, func(p *workerPool) { p.close() }, e.pool)
 
 	var cnn int64
 	if d != nil {
@@ -157,12 +191,15 @@ func NewWithDerived(in *tsp.Instance, p aco.Params, d *tsp.Derived) (*Engine, er
 }
 
 // resetTau sets every trail to tau and every weight to tauAlpha·η^β in one
-// fused sweep.
+// fused row-sharded sweep.
 func (e *Engine) resetTau(tauAlpha, tau float32) {
-	for i := range e.tau {
-		e.tau[i] = tau
-		e.weight[i] = tauAlpha * e.etaBeta[i]
-	}
+	e.forSpan(len(e.tau), func(lo, hi int) {
+		tauS, w, eb := e.tau[lo:hi], e.weight[lo:hi], e.etaBeta[lo:hi]
+		for i := range tauS {
+			tauS[i] = tau
+			w[i] = tauAlpha * eb[i]
+		}
+	})
 	e.refreshNN()
 }
 
@@ -174,14 +211,16 @@ func (e *Engine) resetTau(tauAlpha, tau float32) {
 // choice rule reads the weight matrix directly).
 func (e *Engine) refreshNN() {
 	nn := e.nn
-	for i := 0; i < e.n; i++ {
-		row := e.weight[i*e.n : (i+1)*e.n]
-		list := e.nnList[i*nn : (i+1)*nn]
-		wrow := e.wNN[i*nn : (i+1)*nn]
-		for k, j := range list {
-			wrow[k] = row[j]
+	e.forSpan(e.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := e.weight[i*e.n : (i+1)*e.n]
+			list := e.nnList[i*nn : (i+1)*nn]
+			wrow := e.wNN[i*nn : (i+1)*nn]
+			for k, j := range list {
+				wrow[k] = row[j]
+			}
 		}
-	}
+	})
 }
 
 // Ants returns the number of ants m.
@@ -206,7 +245,9 @@ func (e *Engine) span(name string, seconds float64) {
 
 // UpdatePheromone runs the fused Ant System pheromone stage: the deposits
 // of all ants scatter into the dense Δ buffer, then one flat sweep applies
-// τ ← (1-ρ)τ + Δ, refreshes the weight matrix, and re-zeroes Δ.
+// τ ← (1-ρ)τ + Δ, refreshes the weight matrix, and re-zeroes Δ. The
+// scatter stays serial in ant order — float32 accumulation order is part
+// of the result — while the sweep row-shards over the pool.
 func (e *Engine) UpdatePheromone() {
 	start := time.Now()
 	n := e.n
@@ -237,18 +278,21 @@ func (e *Engine) scatterDeposit(tour []int32, d float32, track bool) {
 	}
 }
 
-// applyUpdate is the fused evaporate+deposit sweep over τ, weight and Δ.
+// applyUpdate is the fused evaporate+deposit sweep over τ, weight and Δ —
+// RNG-free and cell-independent, so it row-shards over the pool.
 func (e *Engine) applyUpdate() {
 	f := float32(1 - e.P.Rho)
 	if e.P.Alpha == 1 {
 		// The hot path: one traversal, two multiply-adds per cell, no pow.
-		tau, w, eb, del := e.tau, e.weight, e.etaBeta, e.delta
-		for i := range tau {
-			t := tau[i]*f + del[i]
-			tau[i] = t
-			w[i] = t * eb[i]
-			del[i] = 0
-		}
+		e.forSpan(len(e.tau), func(lo, hi int) {
+			tau, w, eb, del := e.tau[lo:hi], e.weight[lo:hi], e.etaBeta[lo:hi], e.delta[lo:hi]
+			for i := range tau {
+				t := tau[i]*f + del[i]
+				tau[i] = t
+				w[i] = t * eb[i]
+				del[i] = 0
+			}
+		})
 		e.refreshNN()
 		return
 	}
@@ -256,19 +300,27 @@ func (e *Engine) applyUpdate() {
 	// identity ((1-ρ)τ)^α = (1-ρ)^α·τ^α; entries hit by a deposit lose
 	// that identity and are recomputed from τ (incremental invalidation).
 	s := float32(math.Pow(float64(f), e.P.Alpha))
-	tau, w, del := e.tau, e.weight, e.delta
-	for i := range tau {
-		tau[i] = tau[i]*f + del[i]
-		w[i] *= s
-		del[i] = 0
-	}
+	e.forSpan(len(e.tau), func(lo, hi int) {
+		tau, w, del := e.tau[lo:hi], e.weight[lo:hi], e.delta[lo:hi]
+		for i := range tau {
+			tau[i] = tau[i]*f + del[i]
+			w[i] *= s
+			del[i] = 0
+		}
+	})
+	tau, w := e.tau, e.weight
 	if len(e.touched) >= len(tau)/2 {
 		// Dense deposits (the AS with m = n touches most of the matrix):
 		// a full recompute is cheaper than chasing the invalidation list.
-		for i := range w {
-			w[i] = powF32(tau[i], e.P.Alpha) * e.etaBeta[i]
-		}
+		e.forSpan(len(w), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w[i] = powF32(tau[i], e.P.Alpha) * e.etaBeta[i]
+			}
+		})
 	} else {
+		// The invalidation list may repeat an index (two ants crossing one
+		// edge), so this stays serial; each write is idempotent but a
+		// concurrent duplicate would still be a racing write.
 		for _, idx := range e.touched {
 			w[idx] = powF32(tau[idx], e.P.Alpha) * e.etaBeta[idx]
 		}

@@ -34,10 +34,16 @@ func NewMMAS(in *tsp.Instance, p aco.MMASParams) (*MMAS, error) {
 // NewMMASWithDerived is NewMMAS drawing NN lists and C^nn from precomputed
 // derived data; nil recomputes them.
 func NewMMASWithDerived(in *tsp.Instance, p aco.MMASParams, d *tsp.Derived) (*MMAS, error) {
+	return NewMMASWithOptions(in, p, d, Options{})
+}
+
+// NewMMASWithOptions is NewMMASWithDerived with engine options (the
+// per-request worker override).
+func NewMMASWithOptions(in *tsp.Instance, p aco.MMASParams, d *tsp.Derived, o Options) (*MMAS, error) {
 	if err := p.Validate(in.N()); err != nil {
 		return nil, err
 	}
-	e, err := NewWithDerived(in, p.Params, d)
+	e, err := NewWithOptions(in, p.Params, d, o)
 	if err != nil {
 		return nil, err
 	}
@@ -73,34 +79,41 @@ func (m *MMAS) UpdatePheromone(iterBest []int32, iterBestLen int64) {
 	}
 	m.scatterDeposit(tour, float32(1/float64(length)), false)
 
+	// The sweep is cell-independent (the clamp is per entry), so it
+	// row-shards over the pool like the AS applyUpdate.
 	f := float32(1 - m.P.Rho)
 	tmin, tmax := float32(m.TauMin), float32(m.TauMax)
-	tau, w, eb, del := m.tau, m.weight, m.etaBeta, m.delta
 	if m.P.Alpha == 1 {
-		for i := range tau {
-			t := tau[i]*f + del[i]
-			if t < tmin {
-				t = tmin
-			} else if t > tmax {
-				t = tmax
+		m.forSpan(len(m.tau), func(lo, hi int) {
+			tau, w, eb, del := m.tau[lo:hi], m.weight[lo:hi], m.etaBeta[lo:hi], m.delta[lo:hi]
+			for i := range tau {
+				t := tau[i]*f + del[i]
+				if t < tmin {
+					t = tmin
+				} else if t > tmax {
+					t = tmax
+				}
+				tau[i] = t
+				w[i] = t * eb[i]
+				del[i] = 0
 			}
-			tau[i] = t
-			w[i] = t * eb[i]
-			del[i] = 0
-		}
+		})
 	} else {
 		alpha := m.P.Alpha
-		for i := range tau {
-			t := tau[i]*f + del[i]
-			if t < tmin {
-				t = tmin
-			} else if t > tmax {
-				t = tmax
+		m.forSpan(len(m.tau), func(lo, hi int) {
+			tau, w, eb, del := m.tau[lo:hi], m.weight[lo:hi], m.etaBeta[lo:hi], m.delta[lo:hi]
+			for i := range tau {
+				t := tau[i]*f + del[i]
+				if t < tmin {
+					t = tmin
+				} else if t > tmax {
+					t = tmax
+				}
+				tau[i] = t
+				w[i] = powF32(t, alpha) * eb[i]
+				del[i] = 0
 			}
-			tau[i] = t
-			w[i] = powF32(t, alpha) * eb[i]
-			del[i] = 0
-		}
+		})
 	}
 	m.refreshNN()
 	m.span("update", time.Since(start).Seconds())

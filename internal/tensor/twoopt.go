@@ -13,6 +13,11 @@ import "time"
 // into a worse one through rounding. The applied move is the best in the
 // prefix (best-improvement) rather than the first — both drive the tour to
 // a 2-opt-optimal fixed point over the same candidate neighbourhood.
+//
+// Each ant's pass mutates only its own tour row plus a position table and
+// don't-look bits, so the pass shards by ant — with the scratch strictly
+// per worker: a shared engine-level pos/dlb pair would be a data race and
+// would corrupt every concurrent reversal.
 
 type twoOptScratch struct {
 	pos []int32
@@ -20,36 +25,33 @@ type twoOptScratch struct {
 }
 
 // LocalSearchTours applies the vectorised 2-opt to every ant's tour,
-// updating the recorded lengths and the best-so-far.
+// sharded over the worker pool, updating the recorded lengths; the
+// best-so-far folds in afterwards in ant-index order (reduceBest), so the
+// outcome is bit-identical for any worker count.
 func (e *Engine) LocalSearchTours() {
 	start := time.Now()
-	if e.ls.pos == nil {
-		e.ls.pos = make([]int32, e.n)
-		e.ls.dlb = make([]bool, e.n)
+	if e.ls == nil {
+		e.ls = make([]twoOptScratch, e.workers)
+		for w := range e.ls {
+			e.ls[w] = twoOptScratch{pos: make([]int32, e.n), dlb: make([]bool, e.n)}
+		}
 	}
 	n := e.n
-	for ant := 0; ant < e.m; ant++ {
+	e.forAnts(func(w, ant int) {
 		tour := e.Tours[ant*n : (ant+1)*n]
-		l := e.twoOpt(tour)
-		if l < e.Lengths[ant] {
+		if l := e.twoOpt(tour, &e.ls[w]); l < e.Lengths[ant] {
 			e.Lengths[ant] = l
 		}
-		if l < e.BestLen {
-			e.BestLen = l
-			if e.BestTour == nil {
-				e.BestTour = make([]int32, n)
-			}
-			copy(e.BestTour, tour)
-		}
-	}
+	})
+	e.reduceBest()
 	e.span("2-opt", time.Since(start).Seconds())
 }
 
 // twoOpt improves one tour in place until no candidate move improves it,
 // and returns the exact resulting length.
-func (e *Engine) twoOpt(tour []int32) int64 {
+func (e *Engine) twoOpt(tour []int32, ls *twoOptScratch) int64 {
 	n := e.n
-	pos, dlb := e.ls.pos, e.ls.dlb
+	pos, dlb := ls.pos, ls.dlb
 	for p, c := range tour {
 		pos[c] = int32(p)
 	}
@@ -64,7 +66,7 @@ func (e *Engine) twoOpt(tour []int32) int64 {
 			if dlb[c1] {
 				continue
 			}
-			if e.improveCity(tour, c1) {
+			if e.improveCity(tour, c1, ls) {
 				improvement = true
 			} else {
 				dlb[c1] = true
@@ -81,16 +83,16 @@ func (e *Engine) twoOpt(tour []int32) int64 {
 	return l
 }
 
-func (e *Engine) succ(tour []int32, c int32) int32 {
-	p := int(e.ls.pos[c]) + 1
+func (e *Engine) succ(tour []int32, c int32, ls *twoOptScratch) int32 {
+	p := int(ls.pos[c]) + 1
 	if p == e.n {
 		p = 0
 	}
 	return tour[p]
 }
 
-func (e *Engine) pred(tour []int32, c int32) int32 {
-	p := int(e.ls.pos[c]) - 1
+func (e *Engine) pred(tour []int32, c int32, ls *twoOptScratch) int32 {
+	p := int(ls.pos[c]) - 1
 	if p < 0 {
 		p = e.n - 1
 	}
@@ -99,13 +101,13 @@ func (e *Engine) pred(tour []int32, c int32) int32 {
 
 // improveCity runs the two-pass candidate scan around c1 in both tour
 // directions and applies the best improving exchange found, if any.
-func (e *Engine) improveCity(tour []int32, c1 int32) bool {
+func (e *Engine) improveCity(tour []int32, c1 int32, ls *twoOptScratch) bool {
 	n, nn := e.n, e.nn
 	list := e.nnList[int(c1)*nn : int(c1)*nn+nn]
 	drow := e.dist[int(c1)*n : int(c1)*n+n]
 
 	// Successor direction: break edges (c1, succ c1) and (c2, succ c2).
-	s1 := e.succ(tour, c1)
+	s1 := e.succ(tour, c1, ls)
 	radius := drow[s1]
 	// Radius scan: the candidate list is distance-sorted, so the movable
 	// candidates form a prefix.
@@ -118,7 +120,7 @@ func (e *Engine) improveCity(tour []int32, c1 int32) bool {
 	bestG := int64(0)
 	for h := 0; h < m; h++ {
 		c2 := list[h]
-		s2 := e.succ(tour, c2)
+		s2 := e.succ(tour, c2, ls)
 		if s2 == c1 || c2 == s1 {
 			continue // degenerate: shared edge
 		}
@@ -130,12 +132,12 @@ func (e *Engine) improveCity(tour []int32, c1 int32) bool {
 	}
 	if bestH >= 0 {
 		c2 := list[bestH]
-		e.apply(tour, c1, s1, c2, e.succ(tour, c2))
+		e.apply(tour, c1, s1, c2, e.succ(tour, c2, ls), ls)
 		return true
 	}
 
 	// Predecessor direction: the same move type against the orientation.
-	p1 := e.pred(tour, c1)
+	p1 := e.pred(tour, c1, ls)
 	radius = drow[p1]
 	m = 0
 	for m < nn && drow[list[m]] < radius {
@@ -145,7 +147,7 @@ func (e *Engine) improveCity(tour []int32, c1 int32) bool {
 	bestG = 0
 	for h := 0; h < m; h++ {
 		c2 := list[h]
-		p2 := e.pred(tour, c2)
+		p2 := e.pred(tour, c2, ls)
 		if p2 == c1 || p1 == c2 {
 			continue
 		}
@@ -157,7 +159,7 @@ func (e *Engine) improveCity(tour []int32, c1 int32) bool {
 	}
 	if bestH >= 0 {
 		c2 := list[bestH]
-		e.apply(tour, e.pred(tour, c2), c2, p1, c1)
+		e.apply(tour, e.pred(tour, c2, ls), c2, p1, c1, ls)
 		return true
 	}
 	return false
@@ -165,9 +167,9 @@ func (e *Engine) improveCity(tour []int32, c1 int32) bool {
 
 // apply performs the exchange removing edges (c1,s1), (c2,s2) and adding
 // (c1,c2), (s1,s2) by reversing the shorter side of the broken cycle.
-func (e *Engine) apply(tour []int32, c1, s1, c2, s2 int32) {
+func (e *Engine) apply(tour []int32, c1, s1, c2, s2 int32, ls *twoOptScratch) {
 	n := e.n
-	pos, dlb := e.ls.pos, e.ls.dlb
+	pos, dlb := ls.pos, ls.dlb
 	i := int(pos[s1])
 	j := int(pos[c2])
 	inner := j - i
@@ -176,9 +178,9 @@ func (e *Engine) apply(tour []int32, c1, s1, c2, s2 int32) {
 	}
 	inner++ // segment s1..c2 inclusive
 	if inner <= n-inner {
-		e.reverse(tour, i, inner)
+		e.reverse(tour, i, inner, ls)
 	} else {
-		e.reverse(tour, int(pos[s2]), n-inner)
+		e.reverse(tour, int(pos[s2]), n-inner, ls)
 	}
 	dlb[c1] = false
 	dlb[s1] = false
@@ -187,9 +189,9 @@ func (e *Engine) apply(tour []int32, c1, s1, c2, s2 int32) {
 }
 
 // reverse flips length tour positions starting at position i (cyclic).
-func (e *Engine) reverse(tour []int32, i, length int) {
+func (e *Engine) reverse(tour []int32, i, length int, ls *twoOptScratch) {
 	n := e.n
-	pos := e.ls.pos
+	pos := ls.pos
 	a := i
 	b := i + length - 1
 	for k := 0; k < length/2; k++ {
